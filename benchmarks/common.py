@@ -1,0 +1,62 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper.  Default
+parameters are scaled so the whole suite runs on one modest core in
+minutes; set ``SPLITSIM_SCALE=paper`` to run paper-scale dimensions (hours).
+Each benchmark writes its rows to ``results/<name>.json`` and prints the
+same series the paper plots.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+#: "ci" (default) or "paper"
+SCALE = os.environ.get("SPLITSIM_SCALE", "ci")
+
+
+def paper_scale() -> bool:
+    return SCALE == "paper"
+
+
+def save_results(name: str, data: Dict[str, Any]) -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    with open(path, "w") as fh:
+        json.dump({"scale": SCALE, **data}, fh, indent=2, default=str)
+    return path
+
+
+def print_table(title: str, headers, rows) -> None:
+    """Render an aligned text table (the bench's 'figure')."""
+    widths = [len(str(h)) for h in headers]
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers))
+    print(f"\n== {title} ==")
+    print(line)
+    print("-" * len(line))
+    for row in str_rows:
+        print("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 0.01:
+            return f"{cell:.3g}"
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,154 @@
+"""§4.3 case study — NTP vs PTP clock sync and its application impact.
+
+End-to-end reproduction of the clock-synchronization study: detailed hosts
+run chrony against either (a) an NTP server over software timestamps, or
+(b) ``ptp4l`` with NIC hardware timestamping plus PTP transparent clocks in
+every switch, inside a datacenter topology carrying randomized bulk
+background traffic.  A commit-wait store (CockroachDB stand-in) runs on the
+detailed DB host; its write path waits out chrony's reported uncertainty
+bound.
+
+Paper numbers: clock bound 11us (NTP) -> 943ns (PTP); +38% write
+throughput; -15% write latency.  The reproduction checks the same ordering
+and comparable factors.
+"""
+
+import pytest
+
+from repro.kernel.simtime import MS, SEC, US
+from repro.netsim.apps.bulk import BulkSender, BulkSink
+from repro.netsim.topology import datacenter
+from repro.orchestration.instantiate import Instantiation
+from repro.orchestration.system import System
+from repro.hostsim.guest.clocksync import (ChronyNtpApp, ChronyPhcApp,
+                                           NtpServerApp, PtpMasterApp,
+                                           Ptp4lApp)
+from repro.hostsim.guest.crdb import (CrdbClientApp, CrdbServerApp,
+                                      chrony_bound_fn)
+
+from common import paper_scale, print_table, run_once, save_results
+
+GBPS = 1e9
+
+if paper_scale():
+    DIMS = dict(aggs=4, racks_per_agg=6, hosts_per_rack=40)
+    RUN = int(2.5 * SEC)
+    BG_PAIRS = 80
+else:
+    DIMS = dict(aggs=2, racks_per_agg=2, hosts_per_rack=3)
+    RUN = int(1.2 * SEC)
+    BG_PAIRS = 2
+SETTLE = RUN // 2
+
+POLL = 50 * MS
+
+
+def build(kind: str):
+    spec = datacenter(core_bw=100 * GBPS, agg_bw=100 * GBPS,
+                      host_bw=10 * GBPS, external_hosts=2, **DIMS)
+    system = System.from_topospec(spec, seed=42)
+    clock_server, db = system.detailed_hosts()
+    system.hosts[clock_server].clock_drift_ppm = 0.0
+    system.hosts[clock_server].phc_drift_ppm = 0.0
+    system.hosts[db].clock_drift_ppm = 35.0
+
+    if kind == "ntp":
+        system.app(clock_server, lambda h: NtpServerApp())
+        addr = system.addr_of(clock_server)
+        system.app(db, lambda h: ChronyNtpApp(addr, poll_interval_ps=POLL))
+    else:
+        system.app(clock_server, lambda h: PtpMasterApp(sync_interval_ps=POLL))
+        addr = system.addr_of(clock_server)
+        system.app(db, lambda h: Ptp4lApp(addr))
+        system.app(db, lambda h: ChronyPhcApp(h.apps[0],
+                                              poll_interval_ps=POLL // 2))
+
+    # the commit-wait store on the DB host, bound wired to its chrony
+    system.app(db, lambda h: CrdbServerApp(
+        bound_fn=chrony_bound_fn(h.apps[-1]), write_instr=70_000))
+    db_addr = system.addr_of(db)
+    clients = system.protocol_hosts()[:4]
+    for c in clients:
+        system.app(c, lambda h: CrdbClientApp(
+            [db_addr], window=24, n_keys=100, zipf_theta=1.0, write_frac=0.9))
+
+    # randomized background bulk pairs
+    rest = system.protocol_hosts()[4:]
+    import random
+    rng = random.Random(5)
+    rng.shuffle(rest)
+    for i in range(min(BG_PAIRS, len(rest) // 2)):
+        src, dst = rest[2 * i], rest[2 * i + 1]
+        system.app(dst, lambda h: BulkSink(port=5001))
+        d = system.addr_of(dst)
+        system.app(src, lambda h, d=d: BulkSender(
+            d, 5001, variant="newreno", burst_bytes=1 << 20,
+            burst_interval_ps=10 * MS))
+
+    exp = Instantiation(system, transparent_clocks=(kind == "ptp"),
+                        work_window_ps=1 * MS).build()
+    return exp, db, clients
+
+
+def measure(kind: str):
+    exp, db, clients = build(kind)
+    exp.run(RUN)
+    daemon = exp.apps_of(db)[-2]  # chrony (the store is the last app)
+    st = daemon.stats
+    write_tput = sum(c_app.stats.throughput_rps(SETTLE, RUN, "w")
+                     for c_app in (exp.app(c) for c in clients))
+    lats = []
+    for c in clients:
+        lats += exp.app(c).stats.latency_values(SETTLE, "w")
+    write_lat_us = sum(lats) / len(lats) / US if lats else 0.0
+    model = exp.execution_model(RUN).run("splitsim")
+    return {
+        "bound_us": st.settled_bound_ps(SETTLE) / US,
+        "true_err_us": st.settled_true_error_ps(SETTLE) / US,
+        "write_tput_rps": write_tput,
+        "write_lat_us": write_lat_us,
+        "modeled_sim_minutes": model.wall_seconds / 60.0,
+        "cores": exp.core_count(),
+    }
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {kind: measure(kind) for kind in ("ntp", "ptp")}
+
+
+def test_clock_sync_case_study(benchmark, results):
+    run_once(benchmark, lambda: None)  # results computed in the fixture
+
+    rows = [[kind, f'{r["bound_us"]:.3f}', f'{r["true_err_us"]:.3f}',
+             round(r["write_tput_rps"]), f'{r["write_lat_us"]:.1f}',
+             f'{r["modeled_sim_minutes"]:.1f}']
+            for kind, r in results.items()]
+    print_table("Clock sync: NTP vs PTP (paper: 11us vs 943ns; +38% write "
+                "tput; -15% write latency)",
+                ["sync", "bound us", "true err us", "write tput rps",
+                 "write lat us", "modeled sim min"], rows)
+    save_results("cs_clock_sync", results)
+
+    ntp, ptp = results["ntp"], results["ptp"]
+
+    # PTP bound is sub-microsecond-scale and far below NTP's (paper: ~12x)
+    assert ptp["bound_us"] < 2.0
+    assert ntp["bound_us"] > 4 * ptp["bound_us"]
+    # bounds actually bound the true error
+    assert ntp["bound_us"] > ntp["true_err_us"]
+    assert ptp["bound_us"] > ptp["true_err_us"]
+
+    # application impact: write throughput up, write latency down
+    tput_gain = ptp["write_tput_rps"] / ntp["write_tput_rps"] - 1
+    lat_drop = 1 - ptp["write_lat_us"] / ntp["write_lat_us"]
+    assert tput_gain > 0.10, tput_gain
+    assert lat_drop > 0.05, lat_drop
+
+    # Simulation cost: the paper simulates 20s in 175min (NTP) / 227min
+    # (PTP) — a few-hundred-x slowdown for detailed hosts in a large
+    # network.  Check our modeled slowdown lands in that regime.
+    sim_seconds = RUN / SEC
+    for r in results.values():
+        slowdown = r["modeled_sim_minutes"] * 60 / sim_seconds
+        assert 20 < slowdown < 5000

@@ -1,0 +1,148 @@
+"""Fig. 4 — NetCache vs Pegasus throughput under three simulation fidelities.
+
+Paper claims reproduced here:
+
+* protocol-level (all-ns-3) simulation shows **NetCache ahead** (+33% in the
+  paper);
+* full end-to-end simulation (every host in qemu + i40e NIC) **flips the
+  winner**: Pegasus ahead (+47% in the paper), because the server software
+  process is the bottleneck, which ns-3 does not model;
+* request latency: protocol-level measures single-digit microseconds
+  (7-8 us in the paper) vs hundreds of microseconds end-to-end
+  (590-704 us);
+* the mixed-fidelity configuration (detailed servers, ns-3 clients)
+  matches the end-to-end result with ~54% fewer cores and lower modeled
+  simulation time.
+"""
+
+import pytest
+
+from repro.kernel.simtime import MS, US
+from repro.netsim.apps.kv import KVClientApp, KVServerApp
+from repro.netsim.inp.netcache import NetCachePipeline
+from repro.netsim.inp.pegasus import PegasusPipeline
+from repro.netsim.topology import single_switch_rack
+from repro.orchestration.instantiate import Instantiation
+from repro.orchestration.system import System
+
+from common import paper_scale, print_table, run_once, save_results
+
+SERVERS = 2
+CLIENTS = 3
+WINDOW = 24
+RUN = 40 * MS if paper_scale() else 12 * MS
+SETTLE = RUN // 3
+WORK_WINDOW = 100 * US
+
+CONFIGS = ("ns3", "mixed", "e2e")
+
+
+def build_case(inp: str, config: str):
+    spec = single_switch_rack(servers=SERVERS, clients=CLIENTS)
+    addrs = [spec.addr_of(f"server{i}") for i in range(SERVERS)]
+    if inp == "netcache":
+        spec.switches["tor"].pipeline_factory = \
+            lambda sw: NetCachePipeline(sw, write_leader=addrs[0])
+    else:
+        spec.switches["tor"].pipeline_factory = \
+            lambda sw: PegasusPipeline(sw, addrs)
+    system = System.from_topospec(spec, seed=21)
+    for i in range(SERVERS):
+        system.set_simulator(f"server{i}", "ns3" if config == "ns3" else "qemu")
+        system.app(f"server{i}", lambda h: KVServerApp())
+    for i in range(CLIENTS):
+        if config == "e2e":
+            system.set_simulator(f"client{i}", "qemu")
+        system.app(f"client{i}", lambda h: KVClientApp(
+            addrs, closed_loop_window=WINDOW))
+    return Instantiation(system, work_window_ps=WORK_WINDOW).build()
+
+
+def measure(inp: str, config: str):
+    exp = build_case(inp, config)
+    stats = exp.run(RUN)
+    tput = sum(exp.app(f"client{i}").stats.throughput_rps(SETTLE, RUN)
+               for i in range(CLIENTS))
+    lats = []
+    for i in range(CLIENTS):
+        lats += exp.app(f"client{i}").stats.latency_values(SETTLE)
+    mean_lat_us = sum(lats) / len(lats) / US if lats else 0.0
+    model = exp.execution_model(RUN).run("splitsim")
+    return {
+        "tput_rps": tput,
+        "mean_latency_us": mean_lat_us,
+        "cores": exp.core_count(),
+        "modeled_sim_wall_s": model.wall_seconds,
+        "events": stats.stats.events,
+    }
+
+
+@pytest.fixture(scope="module")
+def results():
+    out = {}
+    for config in CONFIGS:
+        for inp in ("netcache", "pegasus"):
+            out[(inp, config)] = measure(inp, config)
+    return out
+
+
+def test_fig4_throughput_and_resources(benchmark, results):
+    run_once(benchmark, lambda: measure("pegasus", "mixed"))
+
+    rows = []
+    for config in CONFIGS:
+        nc, pg = results[("netcache", config)], results[("pegasus", config)]
+        rows.append([config,
+                     round(nc["tput_rps"] / 1e3), round(pg["tput_rps"] / 1e3),
+                     round(pg["tput_rps"] / nc["tput_rps"], 2),
+                     round(nc["mean_latency_us"], 1),
+                     round(pg["mean_latency_us"], 1),
+                     nc["cores"], f'{nc["modeled_sim_wall_s"]:.2f}'])
+    print_table(
+        "Fig 4: NetCache vs Pegasus across fidelities",
+        ["config", "netcache krps", "pegasus krps", "pg/nc",
+         "nc lat us", "pg lat us", "cores", "modeled wall s"],
+        rows)
+    save_results("fig4_netcache_pegasus",
+                 {f"{i}/{c}": results[(i, c)]
+                  for i in ("netcache", "pegasus") for c in CONFIGS})
+
+    ns3_nc = results[("netcache", "ns3")]
+    ns3_pg = results[("pegasus", "ns3")]
+    e2e_nc = results[("netcache", "e2e")]
+    e2e_pg = results[("pegasus", "e2e")]
+    mix_nc = results[("netcache", "mixed")]
+    mix_pg = results[("pegasus", "mixed")]
+
+    # protocol level: NetCache wins (paper: +33%)
+    assert ns3_nc["tput_rps"] > 1.05 * ns3_pg["tput_rps"]
+    # end-to-end flips the winner (paper: Pegasus +47%)
+    assert e2e_pg["tput_rps"] > 1.2 * e2e_nc["tput_rps"]
+    # mixed fidelity agrees with e2e on the winner and roughly on magnitude
+    assert mix_pg["tput_rps"] > 1.2 * mix_nc["tput_rps"]
+    assert mix_pg["tput_rps"] == pytest.approx(e2e_pg["tput_rps"], rel=0.25)
+
+    # latency gap (paper: 7-8us protocol vs 590-704us e2e under saturation)
+    lat_ns3 = results[("pegasus", "ns3")]["mean_latency_us"]
+    lat_e2e = results[("pegasus", "e2e")]["mean_latency_us"]
+    assert lat_ns3 < 20
+    assert lat_e2e > 100
+    assert lat_e2e > 25 * lat_ns3
+
+
+def test_fig4_mixed_fidelity_resource_savings(benchmark, results):
+    run_once(benchmark, lambda: build_case("pegasus", "mixed"))
+    cores_e2e = results[("pegasus", "e2e")]["cores"]
+    cores_mix = results[("pegasus", "mixed")]["cores"]
+    cores_ns3 = results[("pegasus", "ns3")]["cores"]
+    # paper: 11 cores e2e, 5 mixed (54% fewer), 1 protocol-level
+    assert cores_ns3 == 1
+    assert cores_e2e == 2 * (SERVERS + CLIENTS) + 1
+    assert cores_mix == 2 * SERVERS + 1
+    savings = 1 - cores_mix / cores_e2e
+    assert savings >= 0.5
+    # and no higher modeled simulation wall time (paper: 17% lower; in our
+    # model both are pinned by the same slowest server-host simulator, so
+    # they come out equal within numerical noise)
+    assert results[("pegasus", "mixed")]["modeled_sim_wall_s"] <= \
+        results[("pegasus", "e2e")]["modeled_sim_wall_s"] * 1.01

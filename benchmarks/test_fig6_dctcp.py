@@ -1,0 +1,84 @@
+"""Fig. 6 — DCTCP marking-threshold sweep across simulation fidelities.
+
+Dumbbell topology, bulk DCTCP transfers, sweeping the ECN marking
+threshold K.  The paper's claim: the mixed-fidelity simulation (one
+detailed host pair + one protocol pair) closely tracks the full end-to-end
+simulation, while pure protocol-level simulation is far off — because host
+processing inflates the effective RTT, so small K strangles cwnd in ways
+protocol-level hosts never see.
+"""
+
+import pytest
+
+from repro.kernel.simtime import MS, US
+from repro.netsim.apps.bulk import BulkSender, BulkSink
+from repro.netsim.topology import dumbbell
+from repro.orchestration.instantiate import Instantiation
+from repro.orchestration.system import System
+
+from common import paper_scale, print_table, run_once, save_results
+
+GBPS = 1e9
+PAIRS = 2
+RUN = 60 * MS if paper_scale() else 25 * MS
+SETTLE = RUN // 3
+THRESHOLDS = (5, 10, 20, 40, 80) if paper_scale() else (5, 15, 65)
+
+CONFIGS = ("ns3", "mixed", "e2e")
+
+
+def build(config: str, k: int):
+    spec = dumbbell(pairs=PAIRS, edge_bw=10 * GBPS, bottleneck_bw=10 * GBPS,
+                    ecn_threshold_pkts=k)
+    system = System.from_topospec(spec, seed=31)
+    detailed = {"ns3": [], "mixed": [0], "e2e": [0, 1]}[config]
+    for i in range(PAIRS):
+        sim = "gem5" if i in detailed else "ns3"
+        system.set_simulator(f"snd{i}", sim)
+        system.set_simulator(f"rcv{i}", sim)
+        system.app(f"rcv{i}", lambda h: BulkSink(port=5001, variant="dctcp"))
+        dst = spec.addr_of(f"rcv{i}")
+        system.app(f"snd{i}", lambda h, d=dst: BulkSender(
+            d, 5001, total_bytes=None, variant="dctcp"))
+    return Instantiation(system).build()
+
+
+def measure(config: str, k: int) -> float:
+    """Goodput (Gbps) of the measured pair (flow 0).
+
+    In the mixed configuration flow 0 is the detailed (gem5) pair — the
+    system under study — while the protocol pair provides competing
+    traffic, mirroring the paper's setup.
+    """
+    exp = build(config, k)
+    exp.run(RUN)
+    return exp.app("rcv0").goodput_bps(SETTLE, RUN) / 1e9
+
+
+@pytest.fixture(scope="module")
+def curves():
+    return {config: {k: measure(config, k) for k in THRESHOLDS}
+            for config in CONFIGS}
+
+
+def test_fig6_dctcp_threshold_sweep(benchmark, curves):
+    run_once(benchmark, lambda: measure("mixed", THRESHOLDS[0]))
+
+    rows = [[k] + [round(curves[c][k], 2) for c in CONFIGS]
+            for k in THRESHOLDS]
+    print_table("Fig 6: DCTCP goodput (Gbps) vs marking threshold K",
+                ["K (pkts)"] + list(CONFIGS), rows)
+    save_results("fig6_dctcp", curves)
+
+    # mixed fidelity tracks e2e much more closely than protocol-level does
+    def distance(a, b):
+        return sum(abs(a[k] - b[k]) for k in THRESHOLDS)
+
+    d_mixed = distance(curves["mixed"], curves["e2e"])
+    d_ns3 = distance(curves["ns3"], curves["e2e"])
+    assert d_mixed < 0.7 * d_ns3
+
+    # the fidelity gap concentrates at small K: protocol-level hosts keep
+    # high goodput while detailed hosts (larger effective RTT) starve
+    k_small = THRESHOLDS[0]
+    assert curves["ns3"][k_small] > 1.2 * curves["e2e"][k_small]

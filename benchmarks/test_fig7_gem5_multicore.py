@@ -1,0 +1,62 @@
+"""Fig. 7 — parallelizing sequential gem5 multi-core simulations.
+
+One simulated multi-core machine is decomposed into one process per core
+plus a shared memory-system process, connected by SplitSim memory channels.
+The same recorded run yields both curves through the virtual-time model:
+all components in one process (sequential gem5) vs one process each
+(SplitSim-parallelized).
+
+Paper claims: ~5x speedup at 8 cores; from 8 to 44 cores the parallel
+simulation time only grows by ~2x (while sequential grows linearly).
+"""
+
+import pytest
+
+from repro.kernel.simtime import US
+from repro.gem5split.build import measure_multicore, validate_against_sequential
+
+from common import paper_scale, print_table, run_once, save_results
+
+SIM_TIME = (500 * US) if paper_scale() else (150 * US)
+CORE_COUNTS = (1, 2, 4, 8, 16, 32, 44)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {n: measure_multicore(n, sim_time_ps=SIM_TIME)
+            for n in CORE_COUNTS}
+
+
+def test_fig7_decomposed_multicore(benchmark, results):
+    run_once(benchmark, lambda: measure_multicore(8, sim_time_ps=SIM_TIME))
+
+    rows = [[n, f"{t.sequential_wall_s:.3f}", f"{t.parallel_wall_s:.3f}",
+             f"{t.speedup:.2f}x"]
+            for n, t in results.items()]
+    print_table("Fig 7: gem5 multi-core simulation time (modeled wall s)",
+                ["cores", "sequential", "splitsim-parallel", "speedup"],
+                rows)
+    save_results("fig7_gem5_multicore", {
+        str(n): {"sequential_s": t.sequential_wall_s,
+                 "parallel_s": t.parallel_wall_s,
+                 "speedup": t.speedup}
+        for n, t in results.items()})
+
+    # sequential time grows ~linearly with simulated cores
+    assert results[8].sequential_wall_s > \
+        3.0 * results[2].sequential_wall_s
+    # paper: about 5x speedup at 8 cores (accept the 3-8x band)
+    assert 3.0 < results[8].speedup < 9.0
+    # paper: 8 -> 44 cores costs only ~2x more parallel time
+    growth = results[44].parallel_wall_s / results[8].parallel_wall_s
+    assert growth < 3.0
+    # while sequential grows ~5.5x over the same range
+    seq_growth = results[44].sequential_wall_s / results[8].sequential_wall_s
+    assert seq_growth > 4.0
+
+
+def test_fig7_validation_decomposed_equals_sequential(benchmark):
+    """The paper's correctness validation for the decomposition."""
+    ok = run_once(benchmark, lambda: validate_against_sequential(
+        n_cores=4, sim_time_ps=40 * US))
+    assert ok

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Case study: NTP vs PTP clock synchronization (paper §4.3).
+
+A detailed clock server and a detailed client host are embedded into a
+datacenter topology with background bulk traffic.  The NTP configuration
+runs chrony against an NTP server with software timestamps; the PTP
+configuration runs ptp4l with NIC hardware timestamping, transparent-clock
+switches, and chrony disciplining the system clock from the PHC.
+
+Run:  python examples/clock_sync.py        (takes a couple of minutes)
+"""
+
+from repro import Instantiation, MS, SEC, System, US
+from repro.netsim.apps.bulk import BulkSender, BulkSink
+from repro.netsim.topology import datacenter
+from repro.hostsim.guest.clocksync import (ChronyNtpApp, ChronyPhcApp,
+                                           NtpServerApp, PtpMasterApp,
+                                           Ptp4lApp)
+
+GBPS = 1e9
+RUN = int(0.8 * SEC)
+SETTLE = RUN // 2
+
+
+def build(kind: str):
+    spec = datacenter(aggs=2, racks_per_agg=2, hosts_per_rack=2,
+                      core_bw=40 * GBPS, agg_bw=40 * GBPS,
+                      host_bw=10 * GBPS, external_hosts=2)
+    system = System.from_topospec(spec, seed=42)
+    server, client = system.detailed_hosts()
+    system.hosts[server].clock_drift_ppm = 0.0   # reference-grade clock
+    system.hosts[server].phc_drift_ppm = 0.0
+    system.hosts[client].clock_drift_ppm = 35.0  # a typical oscillator
+
+    if kind == "ntp":
+        system.app(server, lambda h: NtpServerApp())
+        addr = system.addr_of(server)
+        system.app(client, lambda h: ChronyNtpApp(addr,
+                                                  poll_interval_ps=50 * MS))
+    else:
+        system.app(server, lambda h: PtpMasterApp(sync_interval_ps=50 * MS))
+        addr = system.addr_of(server)
+        system.app(client, lambda h: Ptp4lApp(addr))
+        system.app(client, lambda h: ChronyPhcApp(h.apps[0],
+                                                  poll_interval_ps=20 * MS))
+
+    # one background bulk pair to perturb queues
+    src, dst = system.protocol_hosts()[:2]
+    system.app(dst, lambda h: BulkSink(port=5001))
+    d = system.addr_of(dst)
+    system.app(src, lambda h, d=d: BulkSender(d, 5001, None, "newreno"))
+
+    exp = Instantiation(system, transparent_clocks=(kind == "ptp")).build()
+    return exp, client
+
+
+def main() -> None:
+    for kind in ("ntp", "ptp"):
+        exp, client = build(kind)
+        exp.run(RUN)
+        daemon = exp.apps_of(client)[-1]
+        st = daemon.stats
+        print(f"{kind.upper():>4}: reported bound "
+              f"{st.settled_bound_ps(SETTLE) / US:8.3f} us   "
+              f"true error {st.settled_true_error_ps(SETTLE) / US:8.3f} us   "
+              f"({st.samples} measurements)")
+    print("\npaper: 11 us (NTP) vs 943 ns (PTP)")
+
+
+if __name__ == "__main__":
+    main()

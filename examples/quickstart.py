@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Quickstart: a mixed-fidelity client/server simulation in ~30 lines.
+
+One detailed (qemu + i40e NIC) server and one protocol-level client on a
+switch.  The system configuration never mentions simulators — the
+instantiation picks them — and the same KV application code runs on both
+fidelities.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Instantiation, MS, System, US
+from repro.netsim.apps.kv import KVClientApp, KVServerApp
+
+GBPS = 1e9
+
+
+def main() -> None:
+    system = System(seed=1)
+    system.switch("tor")
+    system.host("server", simulator="qemu")   # detailed host + NIC
+    system.host("client")                      # protocol-level host
+    system.link("server", "tor", 10 * GBPS, 1 * US)
+    system.link("client", "tor", 10 * GBPS, 1 * US)
+
+    system.app("server", lambda h: KVServerApp())
+    server_addr = system.addr_of("server")
+    system.app("client",
+               lambda h: KVClientApp([server_addr], closed_loop_window=8))
+
+    experiment = Instantiation(system).build()
+    print(f"components: {[c.name for c in experiment.sim.components]}")
+
+    result = experiment.run(10 * MS)
+
+    client = experiment.app("client")
+    stats = client.stats
+    print(f"simulated 10 ms in {result.stats.wall_seconds:.2f} s wall "
+          f"({result.stats.events} events)")
+    print(f"completed requests: {stats.completed}")
+    print(f"throughput: {stats.throughput_rps(2 * MS, 10 * MS) / 1e3:.1f} krps")
+    print(f"mean latency: {stats.mean_latency() / US:.1f} us "
+          f"(p99 {stats.percentile(99) / US:.1f} us)")
+    server_os = experiment.host_os("server")
+    print(f"server CPU utilization: "
+          f"{server_os.cpu_busy_ps / result.stats.sim_time_ps:.0%}")
+
+
+if __name__ == "__main__":
+    main()

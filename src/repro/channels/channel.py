@@ -1,0 +1,213 @@
+"""SplitSim channels: synchronized, latency-modeled message links.
+
+A channel connects two component simulators with a pair of directed queues.
+The synchronization protocol is SimBricks-style conservative lookahead:
+
+* Every message is stamped with its *delivery* time (sender time + channel
+  latency).  Stamps on a directed queue are non-decreasing.
+* A receiver may only advance its local clock strictly below its **input
+  horizon**: the largest stamp it has seen on each input queue (minimum
+  across queues).
+* A sender that advances its clock without sending data must periodically
+  send :class:`~repro.channels.messages.SyncMsg` markers so its peer's
+  horizon keeps growing.  Positive latency on every channel guarantees
+  deadlock freedom: each sync round grows horizons by at least the channel
+  latency.
+
+Two transports implement the directed queues:
+
+* :class:`FifoQueue` — an in-process deque, used by the cooperative
+  coordinator (both its strict-sync and fast modes).
+* the shared-memory ring in :mod:`repro.parallel.shm_ring` — used when each
+  component runs as a real OS process.
+
+Channel ends also maintain the profiler's raw counters (messages and cycles
+spent waiting / sending / receiving); see :mod:`repro.profiler`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterable, Optional, TYPE_CHECKING
+
+from .messages import Msg, SyncMsg
+from ..kernel.simtime import TIME_INFINITY
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..kernel.component import Component
+
+
+class FifoQueue:
+    """In-process directed message queue (single producer, single consumer)."""
+
+    def __init__(self) -> None:
+        self._q: deque[Msg] = deque()
+
+    def push(self, msg: Msg) -> bool:
+        """Append a message (always succeeds in-process)."""
+        self._q.append(msg)
+        return True
+
+    def pop(self) -> Optional[Msg]:
+        """Remove and return the oldest message, or None."""
+        if not self._q:
+            return None
+        return self._q.popleft()
+
+    def peek_stamp(self) -> Optional[int]:
+        """Stamp of the oldest message without consuming it."""
+        if not self._q:
+            return None
+        return self._q[0].stamp
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+
+class ChannelEnd:
+    """One endpoint of a SplitSim channel, owned by a component simulator.
+
+    The owning component calls :meth:`send` from its event handlers,
+    :meth:`poll` to drain incoming messages, :meth:`horizon` to bound how far
+    it may advance, and :meth:`maybe_sync` after advancing to keep its peer
+    unblocked.
+    """
+
+    def __init__(self, name: str, latency: int, sync_interval: Optional[int] = None) -> None:
+        if latency <= 0:
+            raise ValueError("channel latency must be positive (deadlock freedom)")
+        self.name = name
+        self.latency = latency
+        #: How stale the outgoing promise may become before a sync is due.
+        self.sync_interval = sync_interval if sync_interval is not None else latency
+        if self.sync_interval <= 0:
+            raise ValueError("sync interval must be positive")
+
+        self.owner: Optional["Component"] = None
+        self.peer_name: str = ""
+        #: peer *component* name (set when channels are wired; used for
+        #: work-recorder message attribution and profiler edges)
+        self.peer_comp_name: str = ""
+        self.out_q = None  # type: ignore[assignment]
+        self.in_q = None  # type: ignore[assignment]
+
+        #: Whether the sync protocol is active on this end.  The coordinator's
+        #: fast mode disables it (components never block) while preserving
+        #: message latency semantics.
+        self.synchronized = True
+
+        # Sync state.
+        self._out_last_stamp = -1
+        self._in_horizon = 0
+
+        # Profiler raw counters (monotonic totals).
+        self.tx_msgs = 0
+        self.rx_msgs = 0
+        self.tx_syncs = 0
+        self.rx_syncs = 0
+        self.tx_bytes = 0
+        self.wait_polls = 0  # polls made while blocked on this end
+        self.wait_cycles = 0  # host cycles (real or modeled) blocked
+        self.tx_cycles = 0
+        self.rx_cycles = 0
+
+    # -- wiring -----------------------------------------------------------
+
+    def wire(self, out_q, in_q, peer_name: str) -> None:
+        """Attach transport queues; called by :func:`connect` or the runner."""
+        self.out_q = out_q
+        self.in_q = in_q
+        self.peer_name = peer_name
+
+    # -- sending ----------------------------------------------------------
+
+    def send(self, msg: Msg, now: int) -> None:
+        """Send a data message; it is delivered ``latency`` later at the peer."""
+        stamp = now + self.latency
+        if stamp < self._out_last_stamp:
+            raise AssertionError(
+                f"{self.name}: non-monotonic stamp {stamp} after {self._out_last_stamp}"
+            )
+        if self.out_q is None:
+            raise RuntimeError(f"channel end {self.name} is not wired")
+        msg.stamp = stamp
+        self._out_last_stamp = stamp
+        self.tx_msgs += 1
+        self.tx_bytes += msg.wire_size()
+        self.out_q.push(msg)
+
+    def maybe_sync(self, commit: int) -> None:
+        """Send a sync marker if the outgoing promise has gone stale.
+
+        ``commit`` is the sender's guaranteed lower bound on any future send
+        time; the marker promises delivery stamps ``>= commit + latency``.
+        """
+        if not self.synchronized or self.out_q is None:
+            return
+        stamp = commit + self.latency
+        if stamp > self._out_last_stamp:
+            self._out_last_stamp = stamp
+            self.tx_syncs += 1
+            self.out_q.push(SyncMsg(stamp=stamp))
+
+    # -- receiving --------------------------------------------------------
+
+    def poll(self) -> Iterable[Msg]:
+        """Drain the input queue, returning data messages in stamp order.
+
+        Sync markers only raise the input horizon and are consumed here.
+        """
+        if self.in_q is None:
+            return ()  # not wired (yet): no input
+        out = []
+        while True:
+            msg = self.in_q.pop()
+            if msg is None:
+                break
+            if msg.stamp > self._in_horizon:
+                self._in_horizon = msg.stamp
+            if isinstance(msg, SyncMsg):
+                self.rx_syncs += 1
+            else:
+                self.rx_msgs += 1
+                out.append(msg)
+        return out
+
+    def horizon(self) -> int:
+        """Largest simulated time this end permits its owner to advance *to*.
+
+        The owner may execute events strictly before this value.
+        """
+        if not self.synchronized or self.in_q is None:
+            return TIME_INFINITY
+        return self._in_horizon
+
+    # -- profiler ---------------------------------------------------------
+
+    def note_wait(self, cycles: int) -> None:
+        """Record host cycles spent blocked waiting on this end."""
+        self.wait_polls += 1
+        self.wait_cycles += cycles
+
+    def counters(self) -> dict:
+        """Snapshot of the raw profiler counters."""
+        return {
+            "tx_msgs": self.tx_msgs,
+            "rx_msgs": self.rx_msgs,
+            "tx_syncs": self.tx_syncs,
+            "rx_syncs": self.rx_syncs,
+            "tx_bytes": self.tx_bytes,
+            "wait_polls": self.wait_polls,
+            "wait_cycles": self.wait_cycles,
+            "tx_cycles": self.tx_cycles,
+            "rx_cycles": self.rx_cycles,
+        }
+
+
+def connect(end_a: ChannelEnd, end_b: ChannelEnd,
+            queue_factory: Callable[[], object] = FifoQueue) -> None:
+    """Wire two channel ends together with a fresh pair of directed queues."""
+    q_ab = queue_factory()
+    q_ba = queue_factory()
+    end_a.wire(out_q=q_ab, in_q=q_ba, peer_name=end_b.name)
+    end_b.wire(out_q=q_ba, in_q=q_ab, peer_name=end_a.name)

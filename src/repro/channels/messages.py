@@ -1,0 +1,171 @@
+"""Message types carried over SplitSim channels.
+
+Channels are typed by the messages they carry, mirroring the SimBricks
+protocol families:
+
+* **Ethernet** (`EthMsg`): frames between NICs, switches, and network
+  simulator partitions.
+* **PCI** (`DmaReadMsg`/`DmaWriteMsg`/`DmaCompletionMsg`/`MmioMsg`/
+  `InterruptMsg`): host <-> NIC device interface.
+* **Memory** (`MemReadMsg`/`MemWriteMsg`/`MemRespMsg`): gem5-style packetized
+  memory requests, used to decompose multi-core host simulations.
+* **Sync** (`SyncMsg`): pure synchronization, no payload.
+* **Trunk** (`TrunkMsg`): a tagged wrapper multiplexing several logical
+  sub-channels over one synchronized channel.
+
+Every message carries ``stamp``: the simulated time at which it takes effect
+at the *receiver* (sender's send time plus channel latency).  Stamps on one
+directed queue are non-decreasing; this monotonicity is what the conservative
+synchronization protocol relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+@dataclass
+class Msg:
+    """Base class for all channel messages."""
+
+    stamp: int = 0
+
+    def wire_size(self) -> int:
+        """Estimated serialized bytes (shm slot sizing + transfer cost)."""
+        return 32
+
+
+@dataclass
+class SyncMsg(Msg):
+    """Pure synchronization marker: promises no earlier message will follow."""
+
+    def wire_size(self) -> int:  # noqa: D102 - documented on the base class
+        return 8
+
+
+@dataclass
+class EthMsg(Msg):
+    """An Ethernet frame, carrying an opaque packet object."""
+
+    packet: Any = None
+
+    def wire_size(self) -> int:
+        size = getattr(self.packet, "size_bytes", 64)
+        return 32 + int(size)
+
+
+@dataclass
+class MmioMsg(Msg):
+    """Host-initiated register read/write to the device (BAR access)."""
+
+    addr: int = 0
+    value: int = 0
+    is_write: bool = True
+    req_id: int = 0
+
+
+@dataclass
+class MmioRespMsg(Msg):
+    """Completion of an MMIO read."""
+
+    value: int = 0
+    req_id: int = 0
+
+
+@dataclass
+class DmaReadMsg(Msg):
+    """Device-initiated DMA read of host memory."""
+
+    addr: int = 0
+    length: int = 0
+    req_id: int = 0
+
+
+@dataclass
+class DmaWriteMsg(Msg):
+    """Device-initiated DMA write into host memory."""
+
+    addr: int = 0
+    data: Any = None
+    length: int = 0
+    req_id: int = 0
+
+    def wire_size(self) -> int:
+        return 40 + self.length
+
+
+@dataclass
+class DmaCompletionMsg(Msg):
+    """Host's completion of a device DMA read (carries the data)."""
+
+    data: Any = None
+    length: int = 0
+    req_id: int = 0
+
+    def wire_size(self) -> int:
+        return 40 + self.length
+
+
+@dataclass
+class InterruptMsg(Msg):
+    """Device raises an interrupt (MSI-X style, by vector)."""
+
+    vector: int = 0
+
+
+@dataclass
+class MemReadMsg(Msg):
+    """Packetized memory read request (gem5 port interface)."""
+
+    addr: int = 0
+    length: int = 64
+    req_id: int = 0
+
+
+@dataclass
+class MemWriteMsg(Msg):
+    """Packetized memory write request (gem5 port interface)."""
+
+    addr: int = 0
+    length: int = 64
+    req_id: int = 0
+    data: Any = None
+
+
+@dataclass
+class MemRespMsg(Msg):
+    """Memory response, matched to the request by ``req_id``."""
+
+    req_id: int = 0
+    data: Any = None
+    is_write: bool = False
+
+
+@dataclass
+class MemInvalidateMsg(Msg):
+    """Coherence invalidation pushed to a core that cached the line."""
+
+    addr: int = 0
+
+
+@dataclass
+class TrunkMsg(Msg):
+    """Wrapper multiplexing sub-channel traffic over one synchronized channel.
+
+    ``subchannel`` identifies the logical link; ``inner`` is the payload
+    message (its own stamp field is ignored — the trunk stamp governs).
+    """
+
+    subchannel: int = 0
+    inner: Optional[Msg] = None
+
+    def wire_size(self) -> int:
+        return 16 + (self.inner.wire_size() if self.inner is not None else 0)
+
+
+@dataclass
+class RawMsg(Msg):
+    """Arbitrary payload message for tests and generic tooling."""
+
+    payload: Any = None

@@ -1,0 +1,85 @@
+"""Trunk channels: multiplex many logical links over one synchronized channel.
+
+When a decomposed simulator partition has several links crossing to the same
+peer partition, naively giving each link its own channel multiplies the
+synchronization cost.  A :class:`TrunkEnd` instead carries all of them over a
+single synchronized channel, tagging each message with a sub-channel id for
+demultiplexing at the receiver (paper §3.2.1, "trunk adapter").
+
+Usage: create a ``TrunkEnd`` per side, :func:`~repro.channels.channel.connect`
+them, then allocate matching :meth:`TrunkEnd.port` objects (same ``sub_id`` on
+both sides) for each logical link.  Ports expose ``send`` and a received-
+message handler, so higher layers can treat a port like a private link.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from .channel import ChannelEnd
+from .messages import Msg, TrunkMsg
+
+
+class TrunkPort:
+    """One logical sub-link of a trunk channel."""
+
+    def __init__(self, trunk: "TrunkEnd", sub_id: int) -> None:
+        self.trunk = trunk
+        self.sub_id = sub_id
+        self.handler: Optional[Callable[[Msg], None]] = None
+        self.tx_msgs = 0
+        self.rx_msgs = 0
+
+    def send(self, msg: Msg, now: int) -> None:
+        """Send ``msg`` over this logical link."""
+        self.tx_msgs += 1
+        self.trunk.send(TrunkMsg(subchannel=self.sub_id, inner=msg), now)
+
+    def on_receive(self, handler: Callable[[Msg], None]) -> "TrunkPort":
+        """Register the callback invoked for each delivered inner message."""
+        self.handler = handler
+        return self
+
+    def _deliver(self, inner: Msg) -> None:
+        self.rx_msgs += 1
+        if self.handler is None:
+            raise RuntimeError(
+                f"trunk {self.trunk.name} port {self.sub_id}: message but no handler"
+            )
+        self.handler(inner)
+
+
+class TrunkEnd(ChannelEnd):
+    """Channel end that carries tagged sub-channel messages.
+
+    The owning component should register :meth:`dispatch` as this end's
+    message handler; it demultiplexes to the per-port handlers.
+    """
+
+    def __init__(self, name: str, latency: int, sync_interval: Optional[int] = None) -> None:
+        super().__init__(name, latency, sync_interval)
+        self._ports: Dict[int, TrunkPort] = {}
+
+    def port(self, sub_id: int) -> TrunkPort:
+        """Allocate (or fetch) the logical sub-link with id ``sub_id``."""
+        if sub_id not in self._ports:
+            self._ports[sub_id] = TrunkPort(self, sub_id)
+        return self._ports[sub_id]
+
+    @property
+    def num_ports(self) -> int:
+        """How many logical sub-links have been allocated."""
+        return len(self._ports)
+
+    def dispatch(self, msg: Msg) -> None:
+        """Demultiplex a received :class:`TrunkMsg` to its port handler."""
+        if not isinstance(msg, TrunkMsg):
+            raise TypeError(f"trunk {self.name}: unexpected message {type(msg).__name__}")
+        port = self._ports.get(msg.subchannel)
+        if port is None:
+            raise RuntimeError(
+                f"trunk {self.name}: message for unknown sub-channel {msg.subchannel}"
+            )
+        inner = msg.inner
+        inner.stamp = msg.stamp
+        port._deliver(inner)

@@ -1,0 +1,8 @@
+"""Decomposed multi-core architectural simulation (the gem5 split)."""
+
+from .build import (build_multicore, measure_multicore,
+                    validate_against_sequential)
+from .workload import CoreProgram, WorkloadSpec
+
+__all__ = ["build_multicore", "measure_multicore",
+           "validate_against_sequential", "WorkloadSpec", "CoreProgram"]

@@ -1,0 +1,93 @@
+"""Decomposed multi-core simulation: per-core components.
+
+Each simulated core (plus its private L1) is one SplitSim component; memory
+requests that miss the L1 travel over a memory-packet channel to the shared
+memory component (:mod:`repro.gem5split.memory`).  This mirrors the paper's
+gem5 decomposition: the port/packet interface is already message-based, so
+an adapter serializes it onto a SimBricks channel with no intrusive
+changes.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Dict, Optional
+
+from ..channels.channel import ChannelEnd
+from ..channels.messages import (MemInvalidateMsg, MemReadMsg, MemRespMsg,
+                                 MemWriteMsg, Msg)
+from ..kernel.component import Component
+from ..kernel.simtime import NS, PS
+from ..parallel.costmodel import GEM5_CYCLES_PER_INST, GEM5_EVENT_CYCLES
+from .workload import CoreProgram, WorkloadSpec
+
+#: Core clock: 2 GHz -> 500 ps per cycle; IPC 1 for the synthetic workload.
+PS_PER_INST = 500
+#: Private L1 hit latency.
+L1_HIT_PS = 2 * NS
+#: Channel latency of the core <-> memory interconnect.
+MEM_CHANNEL_LATENCY_PS = 5 * NS
+
+
+class CoreSim(Component):
+    """One core + private L1 as a component simulator."""
+
+    cycles_per_event = GEM5_EVENT_CYCLES
+
+    def __init__(self, name: str, core_id: int, spec: WorkloadSpec,
+                 seed: int = 0,
+                 mem_latency_ps: int = MEM_CHANNEL_LATENCY_PS) -> None:
+        super().__init__(name)
+        self.core_id = core_id
+        self.program = CoreProgram(core_id, spec, seed)
+        self.mem = ChannelEnd(f"{name}.mem", latency=mem_latency_ps)
+        self.attach_end(self.mem, self._on_mem)
+        self._req_ids = count()
+        self._outstanding: Optional[int] = None
+        self.instructions = 0
+        self.mem_requests = 0
+        self.l1_hits = 0
+        self.invalidations_received = 0
+        #: (sim time, iteration) trace tail for validation against the
+        #: sequential simulation
+        self.trace: list = []
+        self.trace_limit = 64
+
+    def start(self) -> None:
+        """Begin executing the core's workload loop."""
+        self.call_after(0, self._iterate)
+
+    def _iterate(self) -> None:
+        compute, hit, addr, is_write = self.program.next_iteration()
+        self.instructions += compute
+        self.add_work(compute * GEM5_CYCLES_PER_INST)
+        delay = compute * PS_PER_INST
+        if hit:
+            self.l1_hits += 1
+            self.call_after(delay + L1_HIT_PS, self._iterate)
+        else:
+            self.call_after(delay, self._issue, addr, is_write)
+
+    def _issue(self, addr: int, is_write: bool) -> None:
+        req_id = next(self._req_ids)
+        self._outstanding = req_id
+        self.mem_requests += 1
+        msg = (MemWriteMsg(addr=addr, req_id=req_id) if is_write
+               else MemReadMsg(addr=addr, req_id=req_id))
+        self.mem.send(msg, self.now)
+
+    def _on_mem(self, msg: Msg) -> None:
+        if isinstance(msg, MemInvalidateMsg):
+            # the L1 drops the line; a small snoop cost is charged
+            self.invalidations_received += 1
+            self.add_work(GEM5_EVENT_CYCLES / 4)
+            return
+        assert isinstance(msg, MemRespMsg)
+        if msg.req_id != self._outstanding:
+            raise AssertionError(
+                f"{self.name}: response {msg.req_id} != outstanding "
+                f"{self._outstanding}")
+        self._outstanding = None
+        if len(self.trace) < self.trace_limit:
+            self.trace.append((self.now, self.program.iterations))
+        self._iterate()

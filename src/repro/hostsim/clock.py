@@ -1,0 +1,56 @@
+"""Drifting, adjustable clocks for hosts and NIC PHCs.
+
+A :class:`DriftingClock` maps true simulated time to local clock time with
+a frequency error (ppm) and an offset, both adjustable — the interface a
+clock-discipline daemon (chrony, ptp4l) needs: read, step, and slew
+(frequency adjustment).  True time is always available to the *simulator*
+(for measuring real clock error); the simulated software only ever sees
+:meth:`read`.
+"""
+
+from __future__ import annotations
+
+
+class DriftingClock:
+    """Piecewise-linear clock: ``clock = base + (true - mark) * (1 + freq)``."""
+
+    def __init__(self, drift_ppm: float = 0.0, offset_ps: int = 0) -> None:
+        self._freq = drift_ppm * 1e-6
+        self._base = offset_ps
+        self._mark = 0  # true time of the last adjustment
+
+    # -- reading ---------------------------------------------------------------
+
+    def read(self, true_now: int) -> int:
+        """Local clock time at true simulated time ``true_now``."""
+        return int(self._base + (true_now - self._mark) * (1.0 + self._freq))
+
+    def error_ps(self, true_now: int) -> int:
+        """Signed true error of this clock (positive = clock is ahead)."""
+        return self.read(true_now) - true_now
+
+    @property
+    def freq_ppm(self) -> float:
+        """Current frequency error in parts per million."""
+        return self._freq * 1e6
+
+    # -- discipline ------------------------------------------------------------
+
+    def _rebase(self, true_now: int) -> None:
+        self._base = self.read(true_now)
+        self._mark = true_now
+
+    def step(self, true_now: int, delta_ps: int) -> None:
+        """Step the clock by ``delta_ps`` (positive advances it)."""
+        self._rebase(true_now)
+        self._base += delta_ps
+
+    def adj_freq_ppm(self, true_now: int, delta_ppm: float) -> None:
+        """Adjust the clock frequency by ``delta_ppm`` relative to current."""
+        self._rebase(true_now)
+        self._freq += delta_ppm * 1e-6
+
+    def set_freq_ppm(self, true_now: int, freq_ppm: float) -> None:
+        """Set the absolute frequency error (ppm)."""
+        self._rebase(true_now)
+        self._freq = freq_ppm * 1e-6

@@ -1,0 +1,207 @@
+"""NIC drivers for detailed hosts.
+
+:class:`I40eDriver` speaks the behavioral i40e NIC's descriptor-ring
+protocol over a PCI SplitSim channel (doorbell MMIO, descriptor DMA reads,
+completion/rx DMA writes, MSI-X interrupts) — the host/NIC split used
+throughout the paper's end-to-end setups.
+
+:class:`DirectEthDriver` attaches the host straight to an Ethernet channel
+with a fixed transmit cost — a lower-fidelity NIC stand-in useful for
+mixed-fidelity configurations and tests.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Callable, Dict, Optional, TYPE_CHECKING
+
+from ..channels.channel import ChannelEnd
+from ..channels.messages import (DmaCompletionMsg, DmaReadMsg, DmaWriteMsg,
+                                 EthMsg, InterruptMsg, MmioMsg, MmioRespMsg,
+                                 Msg)
+from ..kernel.simtime import NS, US
+from ..netsim.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .os_model import SimOS
+
+#: MMIO register addresses of the behavioral NIC.
+REG_TX_DOORBELL = 0x100
+REG_PHC_TIME = 0x200      # read: current PHC time (ps)
+REG_PHC_STEP = 0x204      # write: step PHC by signed delta (ps)
+REG_PHC_FREQ_ADJ = 0x208  # write: adjust PHC frequency by signed ppb
+
+#: Instructions to post one tx descriptor / handle one rx interrupt.
+TX_DESC_INSTR = 900
+RX_IRQ_INSTR = 1_400
+
+
+class RxEntry:
+    """DMA-written rx record: the packet plus its hardware timestamp."""
+
+    __slots__ = ("packet", "hw_rx_ts")
+
+    def __init__(self, packet: Packet, hw_rx_ts: Optional[int]) -> None:
+        self.packet = packet
+        self.hw_rx_ts = hw_rx_ts
+
+
+class TxDone:
+    """DMA-written tx completion: freed slot plus hardware timestamp."""
+
+    __slots__ = ("slot", "pkt_uid", "hw_tx_ts")
+
+    def __init__(self, slot: int, pkt_uid: int, hw_tx_ts: Optional[int]) -> None:
+        self.slot = slot
+        self.pkt_uid = pkt_uid
+        self.hw_tx_ts = hw_tx_ts
+
+
+class NicDriver:
+    """Base driver interface used by :class:`~repro.hostsim.os_model.SimOS`."""
+
+    def __init__(self) -> None:
+        self.os: Optional["SimOS"] = None
+
+    def bind(self, os: "SimOS") -> None:
+        """Attach the driver to its owning simulated OS."""
+        self.os = os
+
+    def setup(self, host) -> None:
+        """Create channel ends on the host component (called at start)."""
+
+    def transmit(self, pkt: Packet) -> None:
+        """Hand one packet to the NIC hardware for transmission."""
+        raise NotImplementedError
+
+    def request_tx_timestamp(self, pkt_uid: int,
+                             cb: Callable[[int], None]) -> None:
+        """Ask for the hardware tx timestamp of a packet (PTP support)."""
+        raise NotImplementedError(f"{type(self).__name__} has no PHC")
+
+
+class DirectEthDriver(NicDriver):
+    """Host wired straight to an Ethernet channel (no NIC component)."""
+
+    def __init__(self, eth_latency_ps: int = 500 * NS,
+                 tx_delay_ps: int = 800 * NS) -> None:
+        super().__init__()
+        self.eth_latency_ps = eth_latency_ps
+        self.tx_delay_ps = tx_delay_ps
+        self.eth: Optional[ChannelEnd] = None
+
+    def setup(self, host) -> None:
+        """Create the direct Ethernet channel end on the host component."""
+        self.eth = ChannelEnd(f"{host.name}.eth", latency=self.eth_latency_ps)
+        host.attach_end(self.eth, self._on_eth)
+
+    def transmit(self, pkt: Packet) -> None:
+        """Send after a fixed tx-path delay (the low-fidelity NIC model)."""
+        host = self.os.host
+        host.call_after(self.tx_delay_ps,
+                        lambda: self.eth.send(EthMsg(packet=pkt), host.now))
+
+    def _on_eth(self, msg: Msg) -> None:
+        assert isinstance(msg, EthMsg)
+        self.os.on_rx_packet(msg.packet, hw_rx_ts=None)
+
+
+class I40eDriver(NicDriver):
+    """Descriptor-ring driver for the behavioral i40e NIC component."""
+
+    def __init__(self, pci_latency_ps: int = 250 * NS,
+                 ring_slots: int = 256) -> None:
+        super().__init__()
+        self.pci_latency_ps = pci_latency_ps
+        self.ring_slots = ring_slots
+        self.pci: Optional[ChannelEnd] = None
+        self._tx_ring: Dict[int, Packet] = {}
+        self._pending_rx: list = []
+        self._slot_seq = count()
+        self._ts_requests: Dict[int, Callable[[int], None]] = {}
+        self._mmio_req_ids = count()
+        self._phc_reads: Dict[int, tuple] = {}
+        self.tx_packets = 0
+        self.rx_packets = 0
+        self.tx_dropped_ring_full = 0
+
+    def setup(self, host) -> None:
+        """Create the PCI channel end that connects to the NIC component."""
+        self.pci = ChannelEnd(f"{host.name}.pci", latency=self.pci_latency_ps)
+        host.attach_end(self.pci, self._on_pci)
+
+    # -- transmit path -----------------------------------------------------
+
+    def transmit(self, pkt: Packet) -> None:
+        """Post a tx descriptor and ring the NIC doorbell."""
+        os = self.os
+        if len(self._tx_ring) >= self.ring_slots:
+            self.tx_dropped_ring_full += 1
+            return
+        os.charge(TX_DESC_INSTR)
+        slot = next(self._slot_seq) % (1 << 30)
+        self._tx_ring[slot] = pkt
+        self.pci.send(MmioMsg(addr=REG_TX_DOORBELL, value=slot, is_write=True),
+                      os.host.now)
+
+    def request_tx_timestamp(self, pkt_uid: int,
+                             cb: Callable[[int], None]) -> None:
+        """Deliver the PHC tx timestamp of a packet to ``cb`` when known."""
+        self._ts_requests[pkt_uid] = cb
+
+    # -- PHC access (used by ptp4l and chrony's PHC refclock) -----------------
+
+    def read_phc(self, cb: Callable[[int, int, int], None]) -> None:
+        """Read the NIC hardware clock over PCI.
+
+        ``cb(phc_ps, sys_before_ps, sys_after_ps)`` receives the PHC value
+        bracketed by two system-clock reads, like ``phc2sys`` does, so the
+        caller can midpoint-correct for the PCI round trip.
+        """
+        req_id = next(self._mmio_req_ids)
+        self._phc_reads[req_id] = (self.os.clock_ps(), cb)
+        self.pci.send(MmioMsg(addr=REG_PHC_TIME, is_write=False,
+                              req_id=req_id), self.os.host.now)
+
+    def phc_step(self, delta_ps: int) -> None:
+        """Step the NIC hardware clock by a signed delta (over PCI)."""
+        self.pci.send(MmioMsg(addr=REG_PHC_STEP, value=delta_ps,
+                              is_write=True), self.os.host.now)
+
+    def phc_adj_freq_ppb(self, ppb: float) -> None:
+        """Adjust the NIC hardware clock frequency by signed ppb (over PCI)."""
+        self.pci.send(MmioMsg(addr=REG_PHC_FREQ_ADJ, value=ppb,
+                              is_write=True), self.os.host.now)
+
+    # -- PCI message handling ------------------------------------------------
+
+    def _on_pci(self, msg: Msg) -> None:
+        now = self.os.host.now
+        if isinstance(msg, MmioRespMsg):
+            entry = self._phc_reads.pop(msg.req_id, None)
+            if entry is not None:
+                before, cb = entry
+                cb(msg.value, before, self.os.clock_ps())
+        elif isinstance(msg, DmaReadMsg):
+            # NIC fetching a posted descriptor + payload.
+            pkt = self._tx_ring.get(msg.addr)
+            self.pci.send(DmaCompletionMsg(data=pkt, req_id=msg.req_id,
+                                           length=pkt.size_bytes if pkt else 0),
+                          now)
+        elif isinstance(msg, DmaWriteMsg):
+            data = msg.data
+            if isinstance(data, TxDone):
+                self._tx_ring.pop(data.slot, None)
+                self.tx_packets += 1
+                cb = self._ts_requests.pop(data.pkt_uid, None)
+                if cb is not None and data.hw_tx_ts is not None:
+                    cb(data.hw_tx_ts)
+            elif isinstance(data, RxEntry):
+                self.rx_packets += 1
+                self._pending_rx.append(data)
+        elif isinstance(msg, InterruptMsg):
+            if self._pending_rx:
+                self.os.charge(RX_IRQ_INSTR)
+                pending, self._pending_rx = self._pending_rx, []
+                for rx in pending:
+                    self.os.on_rx_packet(rx.packet, hw_rx_ts=rx.hw_rx_ts)

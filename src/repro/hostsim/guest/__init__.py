@@ -1,0 +1,9 @@
+"""Guest applications for detailed hosts (daemons and workloads)."""
+
+from .clocksync import (ChronyNtpApp, ChronyPhcApp, NtpServerApp,
+                        PtpMasterApp, Ptp4lApp, SyncStats)
+from .crdb import CrdbClientApp, CrdbServerApp, chrony_bound_fn
+
+__all__ = ["NtpServerApp", "ChronyNtpApp", "PtpMasterApp", "Ptp4lApp",
+           "ChronyPhcApp", "SyncStats",
+           "CrdbServerApp", "CrdbClientApp", "chrony_bound_fn"]

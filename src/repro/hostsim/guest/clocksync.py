@@ -1,0 +1,422 @@
+"""Clock-synchronization daemons: NTP server, chrony, and ptp4l.
+
+The clock-sync case study (paper §4.3) compares host clock accuracy under:
+
+* **NTP**: chrony polls an NTP server over UDP with *software* timestamps —
+  every timestamp includes stack/interrupt/CPU-queueing jitter and the full
+  network path delay (asymmetric under background load).
+* **PTP**: ``ptp4l`` disciplines the NIC's hardware clock (PHC) using
+  hardware timestamps taken at the wire and transparent-clock corrections
+  accumulated by switches; chrony then disciplines the system clock to the
+  PHC over PCI (``phc2sys``-style three-way reads).
+
+All daemons report an estimated *error bound* (chrony's root distance /
+``maxerror``), the quantity the case study measures, alongside the true
+clock error which the simulator can observe directly.
+
+These apps run on detailed hosts (:class:`repro.hostsim.host.HostSim`); the
+NTP *server* can also run protocol-level for an idealized reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from ...kernel.simtime import MS, NS, SEC, US
+from ...netsim.apps.base import App
+from ...netsim.packet import Packet
+
+NTP_PORT = 123
+PTP_EVENT_PORT = 319
+PTP_GENERAL_PORT = 320
+
+NTP_PACKET_BYTES = 76
+PTP_PACKET_BYTES = 54
+
+
+# ---------------------------------------------------------------------------
+# Wire payloads
+# ---------------------------------------------------------------------------
+
+@dataclass(slots=True)
+class NtpPacket:
+    """NTP request/response payload (classic four-timestamp exchange)."""
+
+    mode: str  # "req" | "resp"
+    seq: int = 0
+    t1: int = 0  # client transmit (client clock)
+    t2: int = 0  # server receive (server clock)
+    t3: int = 0  # server transmit (server clock)
+
+
+@dataclass(slots=True)
+class PtpSync:
+    """PTP Sync event message (hardware-timestamped at both NICs)."""
+
+    seq: int
+    ptp_event: bool = True  # hardware-timestamped event message
+
+
+@dataclass(slots=True)
+class PtpFollowUp:
+    """Follow_Up: carries the precise tx time of the preceding Sync."""
+
+    seq: int
+    t1: int = 0             # master hw tx timestamp of the Sync
+    correction_ps: int = 0  # TC residence accumulated by the Sync
+    ptp_event: bool = False
+
+
+@dataclass(slots=True)
+class PtpDelayReq:
+    """Delay_Req event message (slave -> master path measurement)."""
+
+    seq: int
+    ptp_event: bool = True
+
+
+@dataclass(slots=True)
+class PtpDelayResp:
+    """Delay_Resp: master's hardware rx time of the Delay_Req."""
+
+    seq: int
+    t4: int = 0             # master hw rx timestamp of the Delay_Req
+    correction_ps: int = 0  # TC residence accumulated by the Delay_Req
+    ptp_event: bool = False
+
+
+# ---------------------------------------------------------------------------
+# Bound/err bookkeeping shared by the daemons
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SyncStats:
+    """Reported error bounds and true errors over time."""
+
+    #: (ts, reported bound ps)
+    bounds: List[Tuple[int, int]] = field(default_factory=list)
+    #: (ts, true signed error ps)
+    true_errors: List[Tuple[int, int]] = field(default_factory=list)
+    steps: int = 0
+    samples: int = 0
+
+    def settled_bound_ps(self, from_ps: int) -> float:
+        """Mean reported bound after the warm-up point."""
+        vals = [b for ts, b in self.bounds if ts >= from_ps]
+        return sum(vals) / len(vals) if vals else float("inf")
+
+    def settled_true_error_ps(self, from_ps: int) -> float:
+        """Mean absolute true clock error after the warm-up point."""
+        vals = [abs(e) for ts, e in self.true_errors if ts >= from_ps]
+        return sum(vals) / len(vals) if vals else float("inf")
+
+    def max_true_error_ps(self, from_ps: int) -> int:
+        """Worst-case true clock error after the warm-up point."""
+        vals = [abs(e) for ts, e in self.true_errors if ts >= from_ps]
+        return max(vals) if vals else 0
+
+
+class _DriftEstimator:
+    """Estimates residual frequency error between full offset corrections.
+
+    The servos below always step the entire measured offset, so the *next*
+    measured offset is (drift x elapsed + measurement noise); the estimate
+    is therefore simply ``offset / elapsed``.
+    """
+
+    def __init__(self, gain: float = 0.5) -> None:
+        self._last_ts: Optional[int] = None
+        self.gain = gain
+
+    def update(self, ts: int, offset_ps: int) -> float:
+        """Returns the gain-scaled drift estimate in ppm."""
+        drift = 0.0
+        if self._last_ts is not None:
+            dt = ts - self._last_ts
+            if dt > 0:
+                drift = offset_ps / dt * 1e6 * self.gain
+        self._last_ts = ts
+        return drift
+
+    def reset(self) -> None:
+        """Forget the previous sample (after a large step)."""
+        self._last_ts = None
+
+
+# ---------------------------------------------------------------------------
+# NTP
+# ---------------------------------------------------------------------------
+
+class NtpServerApp(App):
+    """Responds to NTP requests with its local clock's timestamps."""
+
+    def __init__(self, port: int = NTP_PORT) -> None:
+        super().__init__()
+        self.port = port
+        self.served = 0
+
+    def start(self) -> None:
+        """Bind the NTP server socket."""
+        self.sock = self.stack.udp_socket(self.port, self._on_req)
+
+    def _on_req(self, pkt: Packet) -> None:
+        req = pkt.payload
+        if not isinstance(req, NtpPacket) or req.mode != "req":
+            return
+        self.served += 1
+        t2 = self.host.clock_ps()
+        resp = NtpPacket(mode="resp", seq=req.seq, t1=req.t1, t2=t2,
+                         t3=self.host.clock_ps())
+        self.sock.sendto(pkt.src, pkt.src_port, NTP_PACKET_BYTES, payload=resp)
+
+
+class ChronyNtpApp(App):
+    """chrony in NTP-client mode: polls a server, disciplines the clock.
+
+    Discipline: correct the measured offset by stepping, and cancel the
+    residual frequency error estimated from consecutive offsets.  The
+    reported bound follows chrony's root-distance shape:
+    ``delay/2 + |offset| + skew * poll_interval``.
+    """
+
+    SERVE_INSTR = 2_500  # client-side processing per exchange
+
+    def __init__(self, server_addr: int, poll_interval_ps: int = 50 * MS,
+                 port: int = NTP_PORT) -> None:
+        super().__init__()
+        self.server_addr = server_addr
+        self.poll_interval_ps = poll_interval_ps
+        self.port = port
+        self.stats = SyncStats()
+        self._drift = _DriftEstimator()
+        self._skew_ppm = 5.0  # assumed residual skew for the bound
+        self._seq = 0
+        #: seq -> kernel tx timestamp of the request (SO_TIMESTAMPING)
+        self._tx_ts: dict = {}
+
+    def start(self) -> None:
+        """Begin polling the NTP server."""
+        self.sock = self.stack.udp_socket(None, self._on_resp)
+        self.call_after(self.poll_interval_ps, self._poll)
+
+    # The system clock this daemon disciplines:
+    @property
+    def clock(self):
+        """The system clock this daemon disciplines."""
+        return self.host.clock  # SimOS exposes .clock
+
+    def _poll(self) -> None:
+        self.host.charge(self.SERVE_INSTR)
+        self._seq += 1
+        seq = self._seq
+        t1 = self.host.clock_ps()
+        pkt = self.sock.sendto(self.server_addr, self.port, NTP_PACKET_BYTES,
+                               payload=NtpPacket(mode="req", seq=seq, t1=t1))
+        # kernel tx timestamping where the OS provides it (detailed hosts)
+        req_ts = getattr(self.host, "request_sw_tx_ts", None)
+        if req_ts is not None:
+            req_ts(pkt, lambda ts, q=seq: self._tx_ts.__setitem__(q, ts))
+        if len(self._tx_ts) > 64:
+            self._tx_ts.pop(next(iter(self._tx_ts)))
+        self.call_after(self.poll_interval_ps, self._poll)
+
+    def _on_resp(self, pkt: Packet) -> None:
+        resp = pkt.payload
+        if not isinstance(resp, NtpPacket) or resp.mode != "resp":
+            return
+        self.host.charge(self.SERVE_INSTR)
+        # chrony uses kernel rx timestamps (SO_TIMESTAMPNS) when available,
+        # so t4 does not include CPU queueing behind other processes
+        kernel_t4 = getattr(self.host, "pop_sw_rx_ts", lambda p: None)(pkt)
+        t4 = kernel_t4 if kernel_t4 is not None else self.host.clock_ps()
+        t1, t2, t3 = resp.t1, resp.t2, resp.t3
+        # prefer the kernel tx timestamp of the matching request
+        t1 = self._tx_ts.pop(resp.seq, t1)
+        # NTP theta is the correction to ADD to the client clock; the local
+        # clock error (client ahead of server) is its negation.
+        theta = ((t2 - t1) + (t3 - t4)) // 2
+        err = -theta
+        delay = (t4 - t1) - (t3 - t2)
+        now = self.host.now
+        drift_ppm = self._drift.update(now, err)
+        # Discipline: remove the error, cancel estimated residual drift.
+        self.clock.step(now, -err)
+        if 0 < abs(drift_ppm) < 500:
+            self.clock.adj_freq_ppm(now, -drift_ppm)
+        offset = err  # for the bound below
+        self.stats.samples += 1
+        bound = abs(delay) // 2 + abs(offset) // 4 + int(
+            self._skew_ppm * 1e-6 * self.poll_interval_ps)
+        self.stats.bounds.append((now, bound))
+        self.stats.true_errors.append((now, self.clock.error_ps(now)))
+
+
+# ---------------------------------------------------------------------------
+# PTP
+# ---------------------------------------------------------------------------
+
+class PtpMasterApp(App):
+    """PTP grand master: periodic Sync/Follow_Up, answers Delay_Req.
+
+    Requires a detailed host with an i40e NIC (hardware timestamps).  The
+    master's PHC is the time reference the slaves converge to.
+    """
+
+    def __init__(self, sync_interval_ps: int = 50 * MS) -> None:
+        super().__init__()
+        self.sync_interval_ps = sync_interval_ps
+        self._seq = 0
+        self.slaves: set = set()
+
+    def start(self) -> None:
+        """Bind the PTP sockets and begin the Sync cadence."""
+        self.event_sock = self.stack.udp_socket(PTP_EVENT_PORT, self._on_event)
+        self.general_sock = self.stack.udp_socket(PTP_GENERAL_PORT, lambda p: None)
+        self.call_after(self.sync_interval_ps, self._send_sync)
+
+    def _send_sync(self) -> None:
+        self._seq += 1
+        seq = self._seq
+        for slave in sorted(self.slaves):
+            pkt = self.event_sock.sendto(slave, PTP_EVENT_PORT,
+                                         PTP_PACKET_BYTES,
+                                         payload=PtpSync(seq=seq))
+            self.host.request_tx_timestamp(
+                pkt, lambda ts, s=slave, q=seq, p=pkt: self._send_follow_up(s, q, ts, p))
+        self.call_after(self.sync_interval_ps, self._send_sync)
+
+    def _send_follow_up(self, slave: int, seq: int, hw_tx_ts: int,
+                        sync_pkt: Packet) -> None:
+        # The TC correction travels with the Sync; the slave reads it from
+        # the received packet.  Follow_Up carries the precise t1.
+        self.general_sock.sendto(slave, PTP_GENERAL_PORT, PTP_PACKET_BYTES,
+                                 payload=PtpFollowUp(seq=seq, t1=hw_tx_ts))
+
+    def _on_event(self, pkt: Packet) -> None:
+        msg = pkt.payload
+        if isinstance(msg, PtpDelayReq):
+            self.slaves.add(pkt.src)
+            t4 = self.host.pop_hw_rx_ts(pkt)
+            if t4 is None:
+                return  # no hardware timestamp: cannot serve
+            self.general_sock.sendto(
+                pkt.src, PTP_GENERAL_PORT, PTP_PACKET_BYTES,
+                payload=PtpDelayResp(seq=msg.seq, t4=t4,
+                                     correction_ps=pkt.residence_ps))
+
+
+class Ptp4lApp(App):
+    """PTP slave: disciplines the local NIC's PHC to the grand master."""
+
+    def __init__(self, master_addr: int) -> None:
+        super().__init__()
+        self.master_addr = master_addr
+        self.stats = SyncStats()
+        self._drift = _DriftEstimator()
+        self._pending_sync: dict = {}   # seq -> (t2, correction)
+        self._pending_t3: dict = {}     # seq -> t3 hw tx ts
+        self._path_delay_ps = 0
+        #: most recent |offset| residual; consumed by chrony's PHC refclock
+        self.root_bound_ps = 10 * US
+
+    def start(self) -> None:
+        """Bind PTP sockets and announce to the grand master."""
+        self.event_sock = self.stack.udp_socket(PTP_EVENT_PORT, self._on_event)
+        self.general_sock = self.stack.udp_socket(PTP_GENERAL_PORT,
+                                                  self._on_general)
+        # announce ourselves so the master starts sending Syncs
+        self.call_after(1 * MS, self._send_delay_req, 0)
+
+    @property
+    def phc(self):
+        """Driver handle used to step/trim the slave's NIC hardware clock."""
+        return self.host.driver
+
+    def _on_event(self, pkt: Packet) -> None:
+        msg = pkt.payload
+        if isinstance(msg, PtpSync):
+            t2 = self.host.pop_hw_rx_ts(pkt)
+            if t2 is not None:
+                self._pending_sync[msg.seq] = (t2, pkt.residence_ps)
+
+    def _on_general(self, pkt: Packet) -> None:
+        msg = pkt.payload
+        if isinstance(msg, PtpFollowUp):
+            entry = self._pending_sync.pop(msg.seq, None)
+            if entry is None:
+                return
+            t2, corr = entry
+            self._master_to_slave = (t2 - msg.t1 - corr)
+            self._send_delay_req(msg.seq)
+        elif isinstance(msg, PtpDelayResp):
+            t3 = self._pending_t3.pop(msg.seq, None)
+            if t3 is None or not hasattr(self, "_master_to_slave"):
+                return
+            slave_to_master = (msg.t4 - t3 - msg.correction_ps)
+            offset = (self._master_to_slave - slave_to_master) // 2
+            self._path_delay_ps = (self._master_to_slave + slave_to_master) // 2
+            self._servo(offset)
+
+    def _send_delay_req(self, seq: int) -> None:
+        pkt = self.event_sock.sendto(self.master_addr, PTP_EVENT_PORT,
+                                     PTP_PACKET_BYTES,
+                                     payload=PtpDelayReq(seq=seq))
+        self.host.request_tx_timestamp(
+            pkt, lambda ts, q=seq: self._pending_t3.__setitem__(q, ts))
+
+    def _servo(self, offset: int) -> None:
+        now = self.host.now
+        drift_ppm = self._drift.update(now, offset)
+        self.phc.phc_step(-offset)
+        if abs(offset) > 10 * US:
+            self.stats.steps += 1
+        elif 0 < abs(drift_ppm) < 100:
+            self.phc.phc_adj_freq_ppb(-drift_ppm * 1000.0)
+        self.stats.samples += 1
+        self.root_bound_ps = abs(offset) + 200 * NS
+        self.stats.bounds.append((now, self.root_bound_ps))
+
+
+class ChronyPhcApp(App):
+    """chrony using the NIC PHC as reference clock (``phc2sys`` style).
+
+    Periodically reads the (ptp4l-disciplined) PHC over PCI, bracketing the
+    read with system-clock reads, and disciplines the system clock.  The
+    reported bound composes the PCI read ambiguity, the residual offset,
+    and ptp4l's own root bound.
+    """
+
+    def __init__(self, ptp4l: Ptp4lApp, poll_interval_ps: int = 20 * MS) -> None:
+        super().__init__()
+        self.ptp4l = ptp4l
+        self.poll_interval_ps = poll_interval_ps
+        self.stats = SyncStats()
+        self._drift = _DriftEstimator()
+
+    def start(self) -> None:
+        """Begin the periodic PHC-to-system-clock comparison."""
+        self.call_after(self.poll_interval_ps, self._poll)
+
+    @property
+    def clock(self):
+        """The system clock disciplined from the PHC."""
+        return self.host.clock
+
+    def _poll(self) -> None:
+        self.host.driver.read_phc(self._on_phc)
+        self.call_after(self.poll_interval_ps, self._poll)
+
+    def _on_phc(self, phc_ps: int, sys_before: int, sys_after: int) -> None:
+        now = self.host.now
+        sys_mid = (sys_before + sys_after) // 2
+        offset = sys_mid - phc_ps  # system clock ahead of PHC by this much
+        drift_ppm = self._drift.update(now, offset)
+        self.clock.step(now, -offset)
+        if 0 < abs(drift_ppm) < 500:
+            self.clock.adj_freq_ppm(now, -drift_ppm)
+        read_ambiguity = max(0, (sys_after - sys_before) // 2)
+        bound = read_ambiguity + abs(offset) // 4 + self.ptp4l.root_bound_ps
+        self.stats.samples += 1
+        self.stats.bounds.append((now, bound))
+        self.stats.true_errors.append((now, self.clock.error_ps(now)))

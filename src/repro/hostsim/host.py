@@ -1,0 +1,94 @@
+"""Detailed host simulator components (qemu- and gem5-fidelity).
+
+A :class:`HostSim` is one SplitSim component simulating a complete host:
+CPU timing model, OS (sockets/timers/CPU queueing), drifting clock, and a
+NIC driver whose channel ends connect it to a NIC component (or directly to
+the network).  Factory helpers :func:`qemu_host` and :func:`gem5_host`
+configure the two fidelities used throughout the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..kernel.component import Component
+from ..kernel.rng import make_rng
+from ..parallel.costmodel import (GEM5_BASELINE_CYCLES_PER_PS,
+                                  GEM5_EVENT_CYCLES,
+                                  QEMU_BASELINE_CYCLES_PER_PS)
+from .clock import DriftingClock
+from .cpu import CpuModel, Gem5Cpu, QemuCpu
+from .driver import I40eDriver, NicDriver
+from .os_model import SimOS
+
+#: Modeled host cycles for a qemu-level simulator event (timer fire,
+#: channel message dispatch) beyond the per-instruction cost.
+QEMU_EVENT_CYCLES = 1_500.0
+
+
+class HostSim(Component):
+    """A detailed end host as one component simulator."""
+
+    def __init__(self, name: str, addr: int, cpu: Optional[CpuModel] = None,
+                 driver: Optional[NicDriver] = None,
+                 clock: Optional[DriftingClock] = None, seed: int = 0) -> None:
+        super().__init__(name)
+        self.addr = addr
+        self.cpu = cpu or QemuCpu()
+        is_gem5 = isinstance(self.cpu, Gem5Cpu)
+        self.cycles_per_event = (
+            GEM5_EVENT_CYCLES if is_gem5 else QEMU_EVENT_CYCLES)
+        #: Idle simulation cost (see repro.parallel.costmodel): a detailed
+        #: host consumes simulator cycles for every simulated picosecond,
+        #: application activity or not.
+        self.baseline_cycles_per_ps = (
+            GEM5_BASELINE_CYCLES_PER_PS if is_gem5
+            else QEMU_BASELINE_CYCLES_PER_PS)
+        self.os = SimOS(self, addr=addr, driver=driver or I40eDriver(),
+                        clock=clock, seed=seed)
+        # Channel ends are created immediately so orchestration can wire
+        # them before the simulation starts.
+        self.os.driver.setup(self)
+
+    def add_app(self, app) -> None:
+        """Install a guest application on this host's OS."""
+        self.os.add_app(app)
+
+    def start(self) -> None:
+        """Boot: start every installed guest application."""
+        for app in self.os.apps:
+            app.start()
+
+    def collect_outputs(self) -> dict:
+        """Per-host summary (used by the multi-process runner)."""
+        return {
+            "addr": self.addr,
+            "cpu_busy_ps": self.os.cpu_busy_ps,
+            "instructions": self.os.instructions_retired,
+        }
+
+
+def qemu_host(name: str, addr: int, seed: int = 0,
+              freq_ghz: float = 4.0,
+              clock_drift_ppm: Optional[float] = None,
+              driver: Optional[NicDriver] = None) -> HostSim:
+    """A qemu-icount host: cheap, deterministic instruction timing."""
+    rng = make_rng(seed, f"{name}.clock")
+    drift = (clock_drift_ppm if clock_drift_ppm is not None
+             else rng.uniform(-50.0, 50.0))
+    return HostSim(name, addr, cpu=QemuCpu(freq_ghz=freq_ghz), driver=driver,
+                   clock=DriftingClock(drift_ppm=drift), seed=seed)
+
+
+def gem5_host(name: str, addr: int, seed: int = 0,
+              freq_ghz: float = 4.0,
+              clock_drift_ppm: Optional[float] = None,
+              driver: Optional[NicDriver] = None) -> HostSim:
+    """A gem5 timing host: cache-aware timing, ~50x costlier to simulate."""
+    rng = make_rng(seed, f"{name}.gem5")
+    clock_rng = make_rng(seed, f"{name}.clock")
+    drift = (clock_drift_ppm if clock_drift_ppm is not None
+             else clock_rng.uniform(-50.0, 50.0))
+    cpu = Gem5Cpu(freq_ghz=freq_ghz, rng=rng)
+    return HostSim(name, addr, cpu=cpu, driver=driver,
+                   clock=DriftingClock(drift_ppm=drift), seed=seed)

@@ -1,0 +1,221 @@
+"""Component simulators: the unit of modular composition.
+
+A :class:`Component` is one simulator instance in a SplitSim simulation —
+a host simulator, a NIC model, one partition of the network simulator, one
+core of a decomposed multi-core simulation, and so on.  Each component owns
+a private event queue and clock, and talks to other components *only*
+through its channel ends (:mod:`repro.channels`).
+
+Components advance under the conservative synchronization protocol: a call
+to :meth:`advance` polls inputs, executes local events strictly below the
+input horizon, then publishes the new commitment via sync markers.  The
+coordinator (:mod:`repro.parallel.simulation`) or the per-process runner
+drives this loop.
+
+Work accounting
+---------------
+For the virtual-time parallel execution model, every executed event accrues
+*host cycles* — the modeled cost of executing it on the machine running the
+simulation.  The default per-event cost is ``cycles_per_event``; handlers can
+report additional work via :meth:`add_work` (e.g. a host simulator charges
+cycles per simulated instruction).  Work is accumulated per simulated-time
+window by a :class:`WorkRecorder` so the execution model can replay the
+parallel schedule.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from .events import Event, EventQueue
+from .simtime import TIME_INFINITY
+from ..channels.channel import ChannelEnd
+from ..channels.messages import Msg
+
+
+class WorkRecorder:
+    """Accumulates modeled host cycles per (component, sim-time window)."""
+
+    def __init__(self, window_ps: int) -> None:
+        if window_ps <= 0:
+            raise ValueError("window must be positive")
+        self.window_ps = window_ps
+        #: component name -> {window index -> cycles}
+        self.work: Dict[str, Dict[int, float]] = {}
+        #: (src component, dst component) -> {window index -> messages}
+        self.msgs: Dict[tuple, Dict[int, int]] = {}
+
+    def note_work(self, comp: str, ts: int, cycles: float) -> None:
+        """Account ``cycles`` of host work at simulated time ``ts``."""
+        win = ts // self.window_ps
+        buckets = self.work.setdefault(comp, {})
+        buckets[win] = buckets.get(win, 0.0) + cycles
+
+    def note_msg(self, src: str, dst: str, ts: int) -> None:
+        """Account one cross-component message delivery."""
+        win = ts // self.window_ps
+        buckets = self.msgs.setdefault((src, dst), {})
+        buckets[win] = buckets.get(win, 0) + 1
+
+    def total_work(self, comp: str) -> float:
+        """All recorded cycles of one component."""
+        return sum(self.work.get(comp, {}).values())
+
+
+class Component:
+    """Base class for all simulator instances.
+
+    Subclasses implement behaviour by scheduling events (:meth:`schedule`,
+    :meth:`call_after`) and by registering per-end message handlers with
+    :meth:`attach_end`.
+    """
+
+    #: Default modeled host cycles consumed per executed event.  Calibrated
+    #: per simulator type in :mod:`repro.parallel.costmodel`.
+    cycles_per_event: float = 1_000.0
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.queue = EventQueue()
+        self.now = 0
+        self.ends: List[ChannelEnd] = []
+        self._handlers: Dict[int, Callable[[Msg], None]] = {}
+        self.events_processed = 0
+        self.work_cycles = 0.0
+        self.recorder: Optional[WorkRecorder] = None
+        self._started = False
+
+    # -- wiring -----------------------------------------------------------
+
+    def attach_end(self, end: ChannelEnd,
+                   handler: Optional[Callable[[Msg], None]] = None) -> ChannelEnd:
+        """Register a channel end; ``handler`` receives its data messages.
+
+        A :class:`~repro.channels.trunk.TrunkEnd` may be attached with its
+        own :meth:`~repro.channels.trunk.TrunkEnd.dispatch` as the handler.
+        """
+        end.owner = self
+        self.ends.append(end)
+        if handler is not None:
+            self._handlers[id(end)] = handler
+        return end
+
+    # -- scheduling API (used by subclasses) -------------------------------
+
+    def schedule(self, ts: int, fn: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at absolute simulated time ``ts``."""
+        if ts < self.now:
+            raise ValueError(
+                f"{self.name}: scheduling into the past ({ts} < now {self.now})"
+            )
+        return self.queue.schedule(ts, fn, *args, owner=self)
+
+    def call_after(self, delay: int, fn: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` ``delay`` picoseconds from now."""
+        return self.schedule(self.now + delay, fn, *args)
+
+    def cancel(self, ev: Event) -> None:
+        """Cancel a previously scheduled event."""
+        self.queue.cancel(ev)
+
+    def add_work(self, cycles: float) -> None:
+        """Report extra modeled host cycles for the current event."""
+        self.work_cycles += cycles
+        if self.recorder is not None:
+            self.recorder.note_work(self.name, self.now, cycles)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Hook invoked once before the first advance; schedule initial events."""
+
+    # -- advance loop -------------------------------------------------------
+
+    def poll_inputs(self) -> None:
+        """Drain all input queues, scheduling data messages as local events."""
+        for end in self.ends:
+            for msg in end.poll():
+                if msg.stamp < self.now:
+                    raise AssertionError(
+                        f"{self.name}: stale message stamp {msg.stamp} < now {self.now}"
+                    )
+                self.queue.schedule(msg.stamp, self._dispatch, end, msg, owner=self)
+
+    def blocking_ends(self) -> List[ChannelEnd]:
+        """Channel ends currently limiting this component's progress."""
+        hz = self.input_horizon()
+        if hz >= TIME_INFINITY:
+            return []
+        return [e for e in self.ends if e.synchronized and e.horizon() == hz]
+
+    def input_horizon(self) -> int:
+        """Minimum horizon over all synchronized input channels."""
+        hz = TIME_INFINITY
+        for end in self.ends:
+            h = end.horizon()
+            if h < hz:
+                hz = h
+        return hz
+
+    def advance(self, target: int) -> int:
+        """Run all currently-permitted events and return the new commitment.
+
+        Executes local events with timestamp ``<= target`` and strictly below
+        the input horizon, then emits sync markers.  The returned commitment
+        is the simulated time below which this component is guaranteed to
+        send no further messages (given current inputs).
+        """
+        if not self._started:
+            self._started = True
+            self.start()
+        self.poll_inputs()
+        horizon = self.input_horizon()
+        while True:
+            nxt = self.queue.peek_ts()
+            if nxt is None or nxt > target or nxt >= horizon:
+                break
+            ev = self.queue.pop()
+            assert ev is not None
+            self.now = ev.ts
+            self._run_event(ev)
+            # Events may have arrived meanwhile only in multi-process mode,
+            # where the runner re-polls; in cooperative mode inputs only
+            # change between advance calls.
+        nxt = self.queue.peek_ts()
+        commit = min(nxt if nxt is not None else TIME_INFINITY, horizon, target)
+        if commit > self.now:
+            self.now = commit
+        for end in self.ends:
+            end.maybe_sync(commit)
+        return commit
+
+    def _run_event(self, ev: Event) -> None:
+        self.events_processed += 1
+        self.work_cycles += self.cycles_per_event
+        if self.recorder is not None:
+            self.recorder.note_work(self.name, ev.ts, self.cycles_per_event)
+        ev.fn(*ev.args)
+
+    def _dispatch(self, end: ChannelEnd, msg: Msg) -> None:
+        handler = self._handlers.get(id(end))
+        if handler is None:
+            self.handle_message(end, msg)
+        else:
+            handler(msg)
+        if self.recorder is not None and end.peer_comp_name:
+            self.recorder.note_msg(end.peer_comp_name, self.name, self.now)
+
+    def handle_message(self, end: ChannelEnd, msg: Msg) -> None:
+        """Fallback message handler; override or register per-end handlers."""
+        raise NotImplementedError(
+            f"{self.name}: no handler for {type(msg).__name__} on end {end.name}"
+        )
+
+    # -- introspection ------------------------------------------------------
+
+    def pending_events(self) -> int:
+        """Number of live events in this component's queue."""
+        return len(self.queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name} now={self.now}>"

@@ -1,0 +1,98 @@
+"""Discrete-event machinery: events, the event queue, and cancellation.
+
+The queue is a binary heap keyed on ``(timestamp, sequence)``.  The sequence
+number breaks timestamp ties in insertion order, which makes simulations
+deterministic: two events scheduled for the same picosecond always execute in
+the order they were scheduled.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled callback.
+
+    Events compare by ``(ts, seq)`` so they can live directly in a heap.
+    Use :meth:`cancel` rather than removing from the queue; cancelled
+    events are skipped lazily when popped.
+    """
+
+    ts: int
+    seq: int
+    fn: Callable[..., None] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+    #: Owning component when events from several components share one queue
+    #: (the coordinator's fast mode); ``None`` for private queues.
+    owner: Any = field(compare=False, default=None)
+
+    def cancel(self) -> None:
+        """Mark the event so the queue skips it when popped."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = getattr(self.fn, "__qualname__", repr(self.fn))
+        state = " cancelled" if self.cancelled else ""
+        return f"<Event ts={self.ts} seq={self.seq} fn={name}{state}>"
+
+
+class EventQueue:
+    """Deterministic min-heap of :class:`Event` objects.
+
+    Cancellation is lazy: cancelled events stay in the heap until they reach
+    the top, at which point they are discarded.  ``len()`` reports only live
+    events.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def schedule(self, ts: int, fn: Callable[..., None], *args: Any,
+                 owner: Any = None) -> Event:
+        """Insert a callback at absolute time ``ts`` and return its handle."""
+        if ts < 0:
+            raise ValueError(f"cannot schedule event at negative time {ts}")
+        ev = Event(ts, self._seq, fn, args, owner=owner)
+        self._seq += 1
+        self._live += 1
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def cancel(self, ev: Event) -> None:
+        """Cancel an event previously returned by :meth:`schedule`."""
+        if not ev.cancelled:
+            ev.cancelled = True
+            self._live -= 1
+
+    def peek_ts(self) -> Optional[int]:
+        """Timestamp of the next live event, or ``None`` if empty."""
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        return self._heap[0].ts
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the next live event, or ``None`` if empty."""
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        self._live -= 1
+        return heapq.heappop(self._heap)
+
+    def _drop_cancelled(self) -> None:
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)

@@ -1,0 +1,91 @@
+"""Simulated time representation and unit helpers.
+
+All simulated time in this project is an integer number of **picoseconds**.
+Integers keep event ordering exact (no floating point ties), support the very
+large ranges needed (hours of simulated time still fit comfortably in 64 bits),
+and match the convention of cycle-accurate simulators such as gem5.
+
+Use the unit constants to construct times and the ``fmt_time`` helper to
+render them for humans::
+
+    from repro.kernel.simtime import US, MS, fmt_time
+    deadline = now + 15 * US
+    print(fmt_time(deadline))
+"""
+
+from __future__ import annotations
+
+# Unit constants, in picoseconds.
+PS = 1
+NS = 1_000
+US = 1_000_000
+MS = 1_000_000_000
+SEC = 1_000_000_000_000
+
+#: Sentinel meaning "no constraint / end of time".
+TIME_INFINITY = (1 << 62)
+
+_UNITS = ((SEC, "s"), (MS, "ms"), (US, "us"), (NS, "ns"), (PS, "ps"))
+
+
+def fmt_time(ps: int) -> str:
+    """Render a picosecond timestamp with a human-friendly unit.
+
+    >>> fmt_time(1_500_000)
+    '1.5us'
+    >>> fmt_time(0)
+    '0ps'
+    """
+    if ps >= TIME_INFINITY:
+        return "inf"
+    if ps == 0:
+        return "0ps"
+    for scale, suffix in _UNITS:
+        if abs(ps) >= scale:
+            value = ps / scale
+            if value == int(value):
+                return f"{int(value)}{suffix}"
+            return f"{value:.4g}{suffix}"
+    return f"{ps}ps"
+
+
+def seconds(ps: int) -> float:
+    """Convert picoseconds to floating-point seconds (for reporting only)."""
+    return ps / SEC
+
+
+def from_seconds(secs: float) -> int:
+    """Convert floating-point seconds to integer picoseconds."""
+    return int(round(secs * SEC))
+
+
+_SUFFIXES = {"ps": PS, "ns": NS, "us": US, "ms": MS, "s": SEC}
+
+
+def parse_time(text: str) -> int:
+    """Parse a human time string ("10ms", "1.5us", "20s") to picoseconds.
+
+    >>> parse_time("10ms")
+    10000000000
+    """
+    text = text.strip().lower()
+    for suffix in ("ps", "ns", "us", "ms", "s"):
+        if text.endswith(suffix):
+            number = text[: -len(suffix)].strip()
+            try:
+                value = float(number)
+            except ValueError as exc:
+                raise ValueError(f"bad time literal {text!r}") from exc
+            return int(round(value * _SUFFIXES[suffix]))
+    raise ValueError(f"time literal {text!r} needs a unit (ps/ns/us/ms/s)")
+
+
+def bits_time(nbits: int, bandwidth_bps: float) -> int:
+    """Transmission (serialization) delay of ``nbits`` at ``bandwidth_bps``.
+
+    Returns picoseconds, rounded up so a link is never modeled as faster
+    than configured.
+    """
+    if bandwidth_bps <= 0:
+        raise ValueError("bandwidth must be positive")
+    return int(-(-nbits * SEC // int(bandwidth_bps)))

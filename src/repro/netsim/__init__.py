@@ -1,0 +1,11 @@
+"""Packet-level network simulator (the reproduction\'s ns-3/OMNeT++)."""
+
+from .network import NetworkSim
+from .packet import Packet
+from .topology import (TopoSpec, datacenter, dumbbell, fat_tree, instantiate,
+                       single_switch_rack)
+from .partition import instantiate_partitioned
+
+__all__ = ["NetworkSim", "Packet", "TopoSpec", "instantiate",
+           "instantiate_partitioned", "dumbbell", "fat_tree",
+           "single_switch_rack", "datacenter"]

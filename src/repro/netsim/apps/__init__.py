@@ -1,0 +1,8 @@
+"""Protocol-level applications (usable on detailed hosts too)."""
+
+from .base import App
+from .bulk import BulkSender, BulkSink
+from .kv import KVClientApp, KVServerApp, KVStats
+
+__all__ = ["App", "BulkSender", "BulkSink",
+           "KVServerApp", "KVClientApp", "KVStats"]

@@ -1,0 +1,120 @@
+"""Bulk-transfer applications: TCP senders and sinks.
+
+Used for the DCTCP case study (Fig. 6) and as the background traffic in the
+1200-host clock-sync topology (randomized pairs of hosts performing bulk
+transfers, §4.3).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ...kernel.simtime import MS, SEC, US
+from .base import App
+
+#: Refill granularity for unlimited transfers.
+CHUNK_BYTES = 1 << 20
+
+
+class BulkSender(App):
+    """Sends ``total_bytes`` (or forever when ``None``) over one TCP flow."""
+
+    def __init__(self, dst_addr: int, dst_port: int = 5001,
+                 total_bytes: Optional[int] = None, variant: str = "newreno",
+                 start_delay_ps: int = 0,
+                 burst_bytes: Optional[int] = None,
+                 burst_interval_ps: int = 10 * MS) -> None:
+        super().__init__()
+        self.dst_addr = dst_addr
+        self.dst_port = dst_port
+        self.total_bytes = total_bytes
+        self.variant = variant
+        self.start_delay_ps = start_delay_ps
+        #: paced mode: send ``burst_bytes`` every ``burst_interval_ps``
+        #: (average rate = burst_bytes*8/burst_interval) instead of
+        #: saturating the path -- useful for controlled background load
+        self.burst_bytes = burst_bytes
+        self.burst_interval_ps = burst_interval_ps
+        self.conn = None
+
+    def start(self) -> None:
+        """Open the TCP connection after the configured start delay."""
+        self.call_after(self.start_delay_ps, self._connect)
+
+    def _connect(self) -> None:
+        self.conn = self.stack.tcp_connect(
+            self.dst_addr, self.dst_port, variant=self.variant,
+            on_connected=self._on_connected)
+
+    def _on_connected(self, conn) -> None:
+        if self.burst_bytes is not None:
+            self._burst()
+        elif self.total_bytes is not None:
+            conn.send(self.total_bytes)
+            conn.close()
+        else:
+            conn.send(CHUNK_BYTES)
+            self._refill()
+
+    def _burst(self) -> None:
+        if self.conn is not None:
+            self.conn.send(self.burst_bytes)
+        self.call_after(self.burst_interval_ps, self._burst)
+
+    def _refill(self) -> None:
+        conn = self.conn
+        if conn is None:
+            return
+        queued = conn.app_limit - conn.snd_una
+        if queued < CHUNK_BYTES:
+            conn.send(CHUNK_BYTES)
+        self.call_after(1 * MS, self._refill)
+
+
+class BulkSink(App):
+    """Accepts TCP connections and records delivery progress over time."""
+
+    def __init__(self, port: int = 5001, variant: str = "newreno",
+                 sample_every_bytes: int = 256 * 1024) -> None:
+        super().__init__()
+        self.port = port
+        self.variant = variant
+        self.sample_every_bytes = sample_every_bytes
+        #: (timestamp ps, cumulative delivered bytes) samples, per connection
+        self.samples: List[Tuple[int, int]] = []
+        self.delivered = 0
+        self._last_sampled = 0
+        self.connections = 0
+
+    def start(self) -> None:
+        """Listen for incoming bulk transfers."""
+        self.stack.tcp_listen(self.port, self._on_conn, variant=self.variant)
+
+    def _on_conn(self, conn) -> None:
+        self.connections += 1
+        prev_total = self.delivered
+
+        def on_delivered(total: int, base=prev_total, c=conn) -> None:
+            self.delivered = base + total
+            if self.delivered - self._last_sampled >= self.sample_every_bytes:
+                self._last_sampled = self.delivered
+                self.samples.append((self.now, self.delivered))
+
+        conn.on_delivered = on_delivered
+
+    def goodput_bps(self, from_ps: int, to_ps: int) -> float:
+        """Average delivered rate (bits/s) inside a measurement window."""
+        if to_ps <= from_ps:
+            raise ValueError("empty window")
+        lo = self._delivered_at(from_ps)
+        hi = self._delivered_at(to_ps)
+        return (hi - lo) * 8 * SEC / (to_ps - from_ps)
+
+    def _delivered_at(self, ts: int) -> int:
+        best = 0
+        for t, d in self.samples:
+            if t <= ts:
+                best = d
+            else:
+                break
+        return best

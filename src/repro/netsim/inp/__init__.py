@@ -1,0 +1,6 @@
+"""In-network processing pipelines (programmable switch data planes)."""
+
+from .netcache import NetCachePipeline
+from .pegasus import PegasusPipeline
+
+__all__ = ["NetCachePipeline", "PegasusPipeline"]

@@ -1,0 +1,109 @@
+"""NetCache switch data plane: an in-switch cache for hot keys.
+
+NetCache (Jin et al., SOSP'17) caches the hottest key-value items in the
+ToR switch.  Reads of cached keys are answered directly by the switch;
+writes always go to the key's single home server and invalidate the cache
+entry; the cache is (re)populated from read replies of keys the counting
+stage has identified as hot.
+
+The consequence the case study exposes: the cache absorbs hot *reads*, but
+all writes to a hot key still land on one home server — under a 70%-write
+Zipf-1.8 workload, that server's software becomes the system bottleneck,
+visible only in end-to-end (or mixed-fidelity) simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from ...kernel.simtime import US
+from ..packet import HEADER_BYTES, Packet
+from ..switch import Switch
+from ..apps.kvproto import (OP_READ, OP_WRITE, SERVED_BY_SWITCH, KvReply,
+                            KvRequest, WRITE_REPLY_BYTES)
+
+
+class NetCachePipeline:
+    """Switch pipeline implementing the NetCache cache + query statistics."""
+
+    def __init__(self, switch: Switch, cache_slots: int = 64,
+                 hot_threshold: int = 8,
+                 invalidate_on_write: bool = False,
+                 write_leader: Optional[int] = None) -> None:
+        self.switch = switch
+        self.cache_slots = cache_slots
+        self.hot_threshold = hot_threshold
+        #: NetCache cannot load-balance writes: they serialize at a single
+        #: responsible replica.  When set, the pipeline directs every write
+        #: to this server address (the replicated store's write leader).
+        self.write_leader = write_leader
+        #: When True, a write request immediately invalidates the cached
+        #: entry and reads miss until the write reply refreshes it
+        #: (strict per-key linearizability).  The default matches the
+        #: common data-plane behaviour of serving the current cached value
+        #: until the write reply installs the new one.
+        self.invalidate_on_write = invalidate_on_write
+        #: key -> value size (a cached item)
+        self.cache: Dict[int, int] = {}
+        #: query-frequency counting stage (count-min stand-in)
+        self.counts: Dict[int, int] = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    # Pipeline interface -----------------------------------------------------
+
+    def process(self, switch: Switch, pkt: Packet,
+                in_port) -> Optional[Iterable[Packet]]:
+        """Pipeline hook: serve cache hits, steer writes, learn hot keys."""
+        payload = pkt.payload
+        if isinstance(payload, KvRequest):
+            return self._on_request(pkt, payload)
+        if isinstance(payload, KvReply):
+            self._maybe_admit(payload)
+        return (pkt,)
+
+    def _on_request(self, pkt: Packet, req: KvRequest
+                    ) -> Optional[Iterable[Packet]]:
+        if req.op == OP_READ:
+            self.counts[req.key] = self.counts.get(req.key, 0) + 1
+            value_bytes = self.cache.get(req.key)
+            if value_bytes is not None:
+                self.hits += 1
+                reply = KvReply(op=OP_READ, key=req.key, req_id=req.req_id,
+                                served_by=SERVED_BY_SWITCH,
+                                value_bytes=value_bytes)
+                out = Packet(
+                    src=pkt.dst, dst=pkt.src,
+                    size_bytes=value_bytes + HEADER_BYTES,
+                    proto="udp", src_port=pkt.dst_port, dst_port=pkt.src_port,
+                    payload=reply,
+                )
+                self.switch.send_from_switch(out)
+                return None
+            self.misses += 1
+        elif req.op == OP_WRITE:
+            if req.key in self.cache:
+                if self.invalidate_on_write:
+                    del self.cache[req.key]
+                self.invalidations += 1
+            if self.write_leader is not None:
+                pkt.dst = self.write_leader
+        return (pkt,)
+
+    def _maybe_admit(self, reply: KvReply) -> None:
+        # Replies (re)populate the cache: read replies admit hot keys, and
+        # write replies refresh the invalidated entry with the new value
+        # (writes serialize through the home server, so the reply carries
+        # the latest version — NetCache's write-through coherence).
+        if reply.key in self.cache:
+            self.cache[reply.key] = reply.value_bytes
+            return
+        if self.counts.get(reply.key, 0) < self.hot_threshold:
+            return
+        if len(self.cache) >= self.cache_slots:
+            coldest = min(self.cache, key=lambda k: self.counts.get(k, 0))
+            if self.counts.get(coldest, 0) >= self.counts.get(reply.key, 0):
+                return
+            del self.cache[coldest]
+        self.cache[reply.key] = reply.value_bytes

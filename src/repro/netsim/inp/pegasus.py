@@ -1,0 +1,73 @@
+"""Pegasus switch data plane: an in-network coherence directory.
+
+Pegasus (Li et al., OSDI'20) keeps a directory in the ToR switch mapping
+each (hot) key to the set of servers holding its latest version.  Writes
+are forwarded to the *least loaded* server and the directory is updated to
+that single owner; reads are load-balanced across the current replica set.
+Unlike NetCache, write load therefore spreads over all servers — which is
+why Pegasus wins under write-heavy skewed workloads once server software
+cost is modeled.
+
+Load tracking mirrors the hardware design: the switch counts in-flight
+requests per server (incremented when a request is forwarded, decremented
+when the matching reply passes back through the switch).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from ..packet import Packet
+from ..switch import Switch
+from ..apps.kvproto import OP_READ, OP_WRITE, KvReply, KvRequest, home_server
+
+
+class PegasusPipeline:
+    """Switch pipeline implementing the Pegasus coherence directory."""
+
+    def __init__(self, switch: Switch, server_addrs: List[int]) -> None:
+        if not server_addrs:
+            raise ValueError("need at least one server")
+        self.switch = switch
+        self.server_addrs = list(server_addrs)
+        #: key -> replica set holding the latest version
+        self.directory: Dict[int, Set[int]] = {}
+        #: server addr -> in-flight requests (directory load estimate)
+        self.load: Dict[int, int] = {a: 0 for a in server_addrs}
+        self.redirected_writes = 0
+        self.redirected_reads = 0
+
+    # Pipeline interface ----------------------------------------------------
+
+    def process(self, switch: Switch, pkt: Packet,
+                in_port) -> Optional[Iterable[Packet]]:
+        """Pipeline hook: steer requests via the directory and load table."""
+        payload = pkt.payload
+        if isinstance(payload, KvRequest):
+            self._route_request(pkt, payload)
+        elif isinstance(payload, KvReply):
+            if payload.served_by in self.load:
+                self.load[payload.served_by] = max(
+                    0, self.load[payload.served_by] - 1)
+        return (pkt,)
+
+    def _route_request(self, pkt: Packet, req: KvRequest) -> None:
+        if req.op == OP_WRITE:
+            target = self._least_loaded(self.server_addrs)
+            if target != pkt.dst:
+                self.redirected_writes += 1
+            pkt.dst = target
+            self.directory[req.key] = {target}
+        else:
+            replicas = self.directory.get(req.key)
+            if replicas:
+                target = self._least_loaded(sorted(replicas))
+            else:
+                target = home_server(req.key, self.server_addrs)
+            if target != pkt.dst:
+                self.redirected_reads += 1
+            pkt.dst = target
+        self.load[pkt.dst] = self.load.get(pkt.dst, 0) + 1
+
+    def _least_loaded(self, candidates) -> int:
+        return min(candidates, key=lambda a: (self.load.get(a, 0), a))

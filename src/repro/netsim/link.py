@@ -1,0 +1,128 @@
+"""Ports and links: serialization, propagation, and egress queueing.
+
+A :class:`Link` joins two ports with a pair of independent
+:class:`LinkDirection` objects.  Each direction owns its egress queue
+(:mod:`repro.netsim.queues`) and models store-and-forward transmission:
+serialization at the configured bandwidth followed by propagation latency.
+
+External links (:class:`ExternalLink`) carry packets out of this network
+partition — to another partition or to a detailed NIC simulator — via a
+SplitSim channel.  They model serialization locally and leave propagation to
+the channel latency, so a partitioned topology has exactly the same timing
+as the unpartitioned one.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, TYPE_CHECKING
+
+from ..kernel.simtime import bits_time
+from .packet import Packet
+from .queues import DropTailQueue
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .network import NetworkSim
+    from .node import Node
+
+
+class Port:
+    """An attachment point on a node; sends via its bound egress direction."""
+
+    def __init__(self, node: "Node", index: int) -> None:
+        self.node = node
+        self.index = index
+        self.egress: Optional[LinkDirection] = None
+        self.peer: Optional[Port] = None  # None for external links
+
+    def send(self, pkt: Packet) -> None:
+        """Transmit out this port via its bound egress direction."""
+        if self.egress is None:
+            raise RuntimeError(f"{self.node.name} port {self.index}: not linked")
+        self.egress.transmit(pkt)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Port {self.node.name}[{self.index}]>"
+
+
+class LinkDirection:
+    """One direction of a link: egress queue -> serialization -> propagation."""
+
+    def __init__(self, net: "NetworkSim", bandwidth_bps: float, latency_ps: int,
+                 queue: DropTailQueue,
+                 deliver: Callable[[Packet], None]) -> None:
+        self.net = net
+        self.bandwidth_bps = bandwidth_bps
+        self.latency_ps = latency_ps
+        self.queue = queue
+        self.deliver = deliver
+        self.busy = False
+        #: Optional hook invoked when a packet starts serialization
+        #: (used by PTP transparent clocks to record residence time).
+        self.on_tx_start: Optional[Callable[[Packet, int], None]] = None
+        self.tx_packets = 0
+        self.tx_bytes = 0
+
+    def transmit(self, pkt: Packet) -> None:
+        """Entry point: queue the packet and start the line if idle."""
+        if not self.queue.enqueue(pkt):
+            return  # dropped (counted by the queue)
+        if not self.busy:
+            self._tx_next()
+
+    def _tx_next(self) -> None:
+        pkt = self.queue.dequeue()
+        if pkt is None:
+            self.busy = False
+            return
+        self.busy = True
+        if self.on_tx_start is not None:
+            self.on_tx_start(pkt, self.net.now)
+        serialization = bits_time(pkt.size_bits, self.bandwidth_bps)
+        self.net.call_after(serialization, self._tx_done, pkt)
+
+    def _tx_done(self, pkt: Packet) -> None:
+        self.tx_packets += 1
+        self.tx_bytes += pkt.size_bytes
+        pkt.hops += 1
+        if self.latency_ps > 0:
+            self.net.call_after(self.latency_ps, self.deliver, pkt)
+        else:
+            self.deliver(pkt)
+        self._tx_next()
+
+
+class Link:
+    """A bidirectional link between two ports."""
+
+    def __init__(self, net: "NetworkSim", port_a: Port, port_b: Port,
+                 bandwidth_bps: float, latency_ps: int,
+                 queue_a: DropTailQueue, queue_b: DropTailQueue) -> None:
+        self.port_a = port_a
+        self.port_b = port_b
+        self.dir_ab = LinkDirection(
+            net, bandwidth_bps, latency_ps, queue_a,
+            lambda pkt: port_b.node.receive(pkt, port_b))
+        self.dir_ba = LinkDirection(
+            net, bandwidth_bps, latency_ps, queue_b,
+            lambda pkt: port_a.node.receive(pkt, port_a))
+        port_a.egress = self.dir_ab
+        port_b.egress = self.dir_ba
+        port_a.peer = port_b
+        port_b.peer = port_a
+
+
+class ExternalLink:
+    """Egress direction leaving this partition over a SplitSim channel.
+
+    ``send_fn(pkt)`` is invoked once serialization completes; channel latency
+    supplies the propagation delay.  The reverse direction is handled by
+    :meth:`NetworkSim.inject`.
+    """
+
+    def __init__(self, net: "NetworkSim", port: Port, bandwidth_bps: float,
+                 queue: DropTailQueue, send_fn: Callable[[Packet], None]) -> None:
+        self.direction = LinkDirection(net, bandwidth_bps, 0, queue,
+                                       lambda pkt: send_fn(pkt))
+        port.egress = self.direction
+        port.peer = None
+        self.port = port

@@ -1,0 +1,180 @@
+"""The network simulator component: one partition of packet-level network.
+
+A :class:`NetworkSim` owns a set of nodes and links and executes their
+events.  An unpartitioned simulation has exactly one ``NetworkSim``; the
+partitioner (:mod:`repro.netsim.partition`) instead builds several, bridged
+by trunk channels.
+
+Two engine flavors exist, ``"ns3"`` and ``"omnet"``.  They are functionally
+identical; the flavor sets the modeled per-event host cost (OMNeT++'s
+message/module machinery is heavier per event), which the virtual-time
+execution model uses for the native-parallelization comparison (Fig. 8).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..channels.messages import EthMsg
+from ..kernel.component import Component
+from ..kernel.rng import make_rng
+from ..parallel.costmodel import NS3_EVENT_CYCLES, OMNET_EVENT_CYCLES
+from .link import ExternalLink, Link, Port
+from .node import NetHost, Node
+from .packet import Packet
+from .queues import DropTailQueue
+from .switch import Switch
+
+
+class ExternalAttachment:
+    """Bridges one switch port to a SplitSim channel (or any callback).
+
+    Outbound packets (network -> outside) are serialized on an
+    :class:`~repro.netsim.link.ExternalLink` and then passed to ``send_fn``.
+    Inbound packets are injected with :meth:`inject`.
+    """
+
+    def __init__(self, net: "NetworkSim", label: str, port: Port,
+                 bandwidth_bps: float, queue: DropTailQueue) -> None:
+        self.net = net
+        self.label = label
+        self.port = port
+        self.send_fn: Optional[Callable[[Packet], None]] = None
+        self.ext = ExternalLink(net, port, bandwidth_bps, queue, self._send)
+        self.tx_packets = 0
+        self.rx_packets = 0
+
+    def _send(self, pkt: Packet) -> None:
+        if self.send_fn is None:
+            raise RuntimeError(f"external attachment {self.label}: no send_fn bound")
+        self.tx_packets += 1
+        self.send_fn(pkt)
+
+    def bind_send(self, send_fn: Callable[[Packet], None]) -> None:
+        """Set the callback that carries outbound packets off-partition."""
+        self.send_fn = send_fn
+
+    def inject(self, pkt: Packet) -> None:
+        """Deliver a packet arriving from outside into the attached node."""
+        self.rx_packets += 1
+        self.port.node.receive(pkt, self.port)
+
+
+class NetworkSim(Component):
+    """A packet-level network simulator instance (one process/partition)."""
+
+    def __init__(self, name: str, flavor: str = "ns3", seed: int = 0) -> None:
+        super().__init__(name)
+        if flavor not in ("ns3", "omnet"):
+            raise ValueError(f"unknown engine flavor {flavor!r}")
+        self.flavor = flavor
+        self.cycles_per_event = (
+            NS3_EVENT_CYCLES if flavor == "ns3" else OMNET_EVENT_CYCLES
+        )
+        #: Root seed: per-host RNG streams derive from it by host name, so
+        #: results do not depend on how the network is partitioned.
+        self.seed_root = seed
+        self.rng = make_rng(seed, name)
+        self.nodes: Dict[str, Node] = {}
+        self.links: List[Link] = []
+        self.externals: Dict[str, ExternalAttachment] = {}
+        self.hosts_by_addr: Dict[int, NetHost] = {}
+
+    # -- topology assembly ----------------------------------------------------
+
+    def add_host(self, name: str, addr: int, rx_proc_delay_ps: int = 0) -> NetHost:
+        """Create a protocol-level host in this partition."""
+        host = NetHost(self, name, addr, rx_proc_delay_ps)
+        self._register(host)
+        self.hosts_by_addr[addr] = host
+        return host
+
+    def add_switch(self, name: str, proc_delay_ps: Optional[int] = None,
+                   pipeline=None) -> Switch:
+        """Create a switch in this partition."""
+        kwargs = {}
+        if proc_delay_ps is not None:
+            kwargs["proc_delay_ps"] = proc_delay_ps
+        switch = Switch(self, name, pipeline=pipeline, **kwargs)
+        self._register(switch)
+        return switch
+
+    def _register(self, node: Node) -> None:
+        if node.name in self.nodes:
+            raise ValueError(f"duplicate node name {node.name!r}")
+        self.nodes[node.name] = node
+
+    def add_link(self, node_a: Node, node_b: Node, bandwidth_bps: float,
+                 latency_ps: int, queue_capacity_bytes: int = 512 * 1024,
+                 ecn_threshold_pkts: Optional[int] = None) -> Link:
+        """Create a bidirectional link with per-direction egress queues."""
+        port_a, port_b = node_a.new_port(), node_b.new_port()
+        link = Link(
+            self, port_a, port_b, bandwidth_bps, latency_ps,
+            DropTailQueue(queue_capacity_bytes, ecn_threshold_pkts),
+            DropTailQueue(queue_capacity_bytes, ecn_threshold_pkts),
+        )
+        self.links.append(link)
+        return link
+
+    def add_external(self, label: str, node: Node, bandwidth_bps: float,
+                     queue_capacity_bytes: int = 512 * 1024,
+                     ecn_threshold_pkts: Optional[int] = None) -> ExternalAttachment:
+        """Attach an external endpoint (detailed host NIC, other partition)."""
+        port = node.new_port()
+        att = ExternalAttachment(
+            self, label, port, bandwidth_bps,
+            DropTailQueue(queue_capacity_bytes, ecn_threshold_pkts),
+        )
+        if label in self.externals:
+            raise ValueError(f"duplicate external label {label!r}")
+        self.externals[label] = att
+        return att
+
+    # -- channel plumbing -------------------------------------------------------
+
+    def bind_external_to_end(self, label: str, end) -> None:
+        """Bind an external attachment to a SplitSim Ethernet channel end."""
+        att = self.externals[label]
+        att.bind_send(lambda pkt: end.send(EthMsg(packet=pkt), self.now))
+        self.attach_end(end, lambda msg: att.inject(msg.packet))
+
+    def bind_external_to_trunk_port(self, label: str, trunk_port) -> None:
+        """Bind an external attachment to one sub-link of a trunk channel."""
+        att = self.externals[label]
+        att.bind_send(lambda pkt: trunk_port.send(EthMsg(packet=pkt), self.now))
+        trunk_port.on_receive(lambda msg: att.inject(msg.packet))
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start every application on every protocol-level host."""
+        for node in self.nodes.values():
+            if isinstance(node, NetHost):
+                for app in node.apps:
+                    app.start()
+
+    # -- statistics ---------------------------------------------------------------
+
+    def collect_outputs(self) -> dict:
+        """Per-app summary (used by the multi-process runner)."""
+        out = {}
+        for node in self.nodes.values():
+            if isinstance(node, NetHost):
+                for i, app in enumerate(node.apps):
+                    key = f"{node.name}.app{i}"
+                    stats = getattr(app, "stats", None)
+                    if stats is not None and hasattr(stats, "completed"):
+                        out[key] = {"completed": stats.completed,
+                                    "sent": stats.sent}
+                    delivered = getattr(app, "delivered", None)
+                    if delivered is not None:
+                        out[key] = {"delivered": delivered}
+        return out
+
+    def total_tx_packets(self) -> int:
+        """Packets transmitted across all links and external attachments."""
+        total = sum(link.dir_ab.tx_packets + link.dir_ba.tx_packets
+                    for link in self.links)
+        total += sum(att.ext.direction.tx_packets for att in self.externals.values())
+        return total

@@ -1,0 +1,85 @@
+"""Packet representation for the packet-level network simulator.
+
+One flat packet class keeps the hot path cheap (this is the single most
+allocated object in large simulations).  Addresses are plain integers —
+every endpoint in a simulation, protocol-level or detailed, gets a unique
+address from the topology builder.
+
+ECN bits follow DCTCP semantics: ``ect`` marks an ECN-capable transport,
+switch queues set ``ce`` on congestion, receivers echo it back via the
+transport layer.  ``residence_ps`` accumulates switch residence time for
+PTP transparent-clock correction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Any, Optional
+
+_packet_ids = count()
+
+#: Ethernet + IP + UDP header bytes, used as the minimum wire size.
+HEADER_BYTES = 46
+MIN_FRAME_BYTES = 64
+MAX_FRAME_BYTES = 1518
+
+#: Well-known protocol numbers for demultiplexing.
+PROTO_UDP = "udp"
+PROTO_TCP = "tcp"
+
+
+@dataclass(slots=True)
+class Packet:
+    """A network packet / Ethernet frame."""
+
+    src: int
+    dst: int
+    size_bytes: int
+    proto: str = PROTO_UDP
+    src_port: int = 0
+    dst_port: int = 0
+
+    # TCP fields
+    seq: int = 0
+    ack: int = 0
+    flags: str = ""  # subset of "SAFR" (SYN/ACK/FIN/RST)
+    wnd: int = 0
+    #: TCP payload bytes carried (explicit; frames are padded to 64B minimum)
+    data_len: int = 0
+
+    # ECN
+    ect: bool = False
+    ce: bool = False
+    ece: bool = False  # receiver -> sender congestion echo
+
+    # PTP transparent clock support
+    residence_ps: int = 0
+    #: set by switches on ingress; used to compute residence time
+    arrival_ts: int = 0
+
+    payload: Any = None
+    create_ts: int = 0
+    hops: int = 0
+    uid: int = field(default_factory=lambda: next(_packet_ids))
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < MIN_FRAME_BYTES:
+            self.size_bytes = MIN_FRAME_BYTES
+
+    @property
+    def size_bits(self) -> int:
+        """Frame size in bits (for serialization-delay math)."""
+        return self.size_bytes * 8
+
+    def flow_key(self) -> tuple:
+        """5-tuple used for ECMP hashing and flow statistics."""
+        return (self.src, self.dst, self.src_port, self.dst_port, self.proto)
+
+    def clone_for_reply(self, size_bytes: int, payload: Any = None) -> "Packet":
+        """Build a reply packet with src/dst and ports swapped."""
+        return Packet(
+            src=self.dst, dst=self.src, size_bytes=size_bytes,
+            proto=self.proto, src_port=self.dst_port, dst_port=self.src_port,
+            ect=self.ect, payload=payload,
+        )

@@ -1,0 +1,49 @@
+"""PTP transparent-clock (TC) support in switches.
+
+IEEE 1588 transparent clocks measure each PTP event packet's residence time
+in the switch — including egress queueing — and accumulate it into the
+packet's correction field, so the slave can subtract switch-induced delay
+variance from its offset computation.  The paper extends ns-3 with exactly
+this (§4.3); here it is a hook on every switch egress direction: when a PTP
+event packet starts serialization, the time since its switch arrival is
+added to ``packet.residence_ps``.
+
+Call :func:`install_transparent_clocks` on an instantiated
+:class:`~repro.netsim.network.NetworkSim` (works for partitioned builds by
+calling it per partition).
+"""
+
+from __future__ import annotations
+
+from .link import LinkDirection
+from .network import NetworkSim
+from .packet import Packet
+from .switch import Switch
+
+
+def _is_ptp_event(pkt: Packet) -> bool:
+    return bool(getattr(pkt.payload, "ptp_event", False))
+
+
+def _tc_hook(pkt: Packet, now: int) -> None:
+    if _is_ptp_event(pkt) and pkt.arrival_ts:
+        pkt.residence_ps += max(0, now - pkt.arrival_ts)
+
+
+def install_transparent_clocks(net: NetworkSim) -> int:
+    """Enable TC residence-time correction on all switch egress queues.
+
+    Returns the number of egress directions instrumented.
+    """
+    hooked = 0
+    for link in net.links:
+        for direction, src in ((link.dir_ab, link.port_a.node),
+                               (link.dir_ba, link.port_b.node)):
+            if isinstance(src, Switch):
+                direction.on_tx_start = _tc_hook
+                hooked += 1
+    for att in net.externals.values():
+        if isinstance(att.port.node, Switch):
+            att.ext.direction.on_tx_start = _tc_hook
+            hooked += 1
+    return hooked

@@ -1,0 +1,142 @@
+"""Egress queue disciplines for links and switch ports.
+
+The default is a byte-capacity drop-tail FIFO with optional DCTCP-style ECN
+marking: when the instantaneous queue occupancy at enqueue time is at or
+above the marking threshold ``ecn_threshold_pkts``, the CE codepoint is set
+on ECN-capable packets.  This is the knob swept in the congestion-control
+case study (Fig. 6).  A classic RED variant (probabilistic marking/dropping
+on the EWMA queue length) is also provided, as in ns-3.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+from .packet import Packet
+
+
+@dataclass
+class QueueStats:
+    """Counters every queue keeps; read by tests and experiments."""
+
+    enqueued: int = 0
+    dequeued: int = 0
+    dropped: int = 0
+    ecn_marked: int = 0
+    max_depth_pkts: int = 0
+    max_depth_bytes: int = 0
+
+
+class DropTailQueue:
+    """Byte-bounded FIFO with optional ECN marking at enqueue.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Maximum total queued bytes; further packets are dropped.
+    ecn_threshold_pkts:
+        DCTCP marking threshold K in packets, or ``None`` to disable
+        marking.  Marking is applied at enqueue time against the
+        instantaneous queue depth, matching DCTCP's specification.
+    """
+
+    def __init__(self, capacity_bytes: int = 512 * 1024,
+                 ecn_threshold_pkts: Optional[int] = None) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self.ecn_threshold_pkts = ecn_threshold_pkts
+        self._q: deque[Packet] = deque()
+        self._bytes = 0
+        self.stats = QueueStats()
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    @property
+    def bytes_queued(self) -> int:
+        """Current total queued bytes."""
+        return self._bytes
+
+    def enqueue(self, pkt: Packet) -> bool:
+        """Add a packet; returns ``False`` (and counts a drop) when full."""
+        if self._bytes + pkt.size_bytes > self.capacity_bytes:
+            self.stats.dropped += 1
+            return False
+        if (self.ecn_threshold_pkts is not None and pkt.ect
+                and len(self._q) >= self.ecn_threshold_pkts):
+            pkt.ce = True
+            self.stats.ecn_marked += 1
+        self._q.append(pkt)
+        self._bytes += pkt.size_bytes
+        self.stats.enqueued += 1
+        if len(self._q) > self.stats.max_depth_pkts:
+            self.stats.max_depth_pkts = len(self._q)
+        if self._bytes > self.stats.max_depth_bytes:
+            self.stats.max_depth_bytes = self._bytes
+        return True
+
+    def dequeue(self) -> Optional[Packet]:
+        """Remove and return the head packet, or ``None`` if empty."""
+        if not self._q:
+            return None
+        pkt = self._q.popleft()
+        self._bytes -= pkt.size_bytes
+        self.stats.dequeued += 1
+        return pkt
+
+    def peek(self) -> Optional[Packet]:
+        """The head packet without removing it."""
+        return self._q[0] if self._q else None
+
+
+class RedQueue(DropTailQueue):
+    """Random Early Detection on the EWMA queue depth (Floyd/Jacobson).
+
+    Between ``min_th`` and ``max_th`` average packets, arriving packets are
+    marked (ECN-capable) or dropped with probability rising linearly to
+    ``max_p``; above ``max_th`` every packet is marked/dropped.  The EWMA
+    weight follows ns-3's default (1/512 per packet arrival).
+    """
+
+    def __init__(self, capacity_bytes: int = 512 * 1024,
+                 min_th: float = 5.0, max_th: float = 15.0,
+                 max_p: float = 0.1, weight: float = 1.0 / 512.0,
+                 ecn: bool = True, rng: Optional[random.Random] = None) -> None:
+        super().__init__(capacity_bytes=capacity_bytes,
+                         ecn_threshold_pkts=None)
+        if not 0 < min_th < max_th:
+            raise ValueError("need 0 < min_th < max_th")
+        self.min_th = min_th
+        self.max_th = max_th
+        self.max_p = max_p
+        self.weight = weight
+        self.ecn = ecn
+        self._rng = rng or random.Random(0)
+        self.avg = 0.0
+        self.red_marked = 0
+        self.red_dropped = 0
+
+    def enqueue(self, pkt: Packet) -> bool:
+        """RED admission: mark/drop probabilistically on the EWMA depth."""
+        self.avg += self.weight * (len(self) - self.avg)
+        if self.avg >= self.max_th:
+            action = True
+        elif self.avg <= self.min_th:
+            action = False
+        else:
+            p = self.max_p * (self.avg - self.min_th) / (self.max_th - self.min_th)
+            action = self._rng.random() < p
+        if action:
+            if self.ecn and pkt.ect:
+                pkt.ce = True
+                self.red_marked += 1
+                self.stats.ecn_marked += 1
+            else:
+                self.red_dropped += 1
+                self.stats.dropped += 1
+                return False
+        return super().enqueue(pkt)

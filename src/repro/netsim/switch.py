@@ -1,0 +1,98 @@
+"""Output-queued switches with pluggable in-network processing pipelines.
+
+The forwarding table maps destination address to one or more output ports
+(multiple ports = ECMP; the flow 5-tuple hash picks one deterministically).
+A pipeline hook sees every packet before forwarding and may consume it,
+rewrite it, or emit replies — this is how NetCache, Pegasus, and the PTP
+transparent clock are implemented (:mod:`repro.netsim.inp`,
+:mod:`repro.netsim.ptp_tc`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Protocol, TYPE_CHECKING
+
+from ..kernel.simtime import NS
+from .link import Port
+from .node import Node
+from .packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .network import NetworkSim
+
+#: Default switch forwarding latency (lookup + crossbar).
+DEFAULT_PROC_DELAY_PS = 300 * NS
+
+
+class Pipeline(Protocol):
+    """In-network processing hook."""
+
+    def process(self, switch: "Switch", pkt: Packet,
+                in_port: Optional[Port]) -> Optional[Iterable[Packet]]:
+        """Handle a packet; return packets to forward (or ``None`` if consumed).
+
+        Returning ``[pkt]`` unchanged forwards normally.
+        """
+
+
+class Switch(Node):
+    """An output-queued L2/L3 switch."""
+
+    def __init__(self, net: "NetworkSim", name: str,
+                 proc_delay_ps: int = DEFAULT_PROC_DELAY_PS,
+                 pipeline: Optional[Pipeline] = None) -> None:
+        super().__init__(net, name)
+        self.proc_delay_ps = proc_delay_ps
+        self.pipeline = pipeline
+        #: destination address -> candidate output ports (ECMP set)
+        self.fib: Dict[int, List[Port]] = {}
+        self.rx_packets = 0
+        self.tx_packets = 0
+        self.no_route_drops = 0
+
+    # -- configuration -------------------------------------------------------
+
+    def add_route(self, dst_addr: int, port: Port) -> None:
+        """Add a (possibly ECMP) next-hop port for a destination."""
+        self.fib.setdefault(dst_addr, [])
+        if port not in self.fib[dst_addr]:
+            self.fib[dst_addr].append(port)
+
+    # -- datapath --------------------------------------------------------------
+
+    def receive(self, pkt: Packet, port: Optional[Port]) -> None:
+        """Ingress: note arrival, run the pipeline after the lookup delay."""
+        self.rx_packets += 1
+        pkt.arrival_ts = self.net.now
+        if self.proc_delay_ps > 0:
+            self.net.call_after(self.proc_delay_ps, self._process, pkt, port)
+        else:
+            self._process(pkt, port)
+
+    def _process(self, pkt: Packet, in_port: Optional[Port]) -> None:
+        if self.pipeline is not None:
+            out = self.pipeline.process(self, pkt, in_port)
+            if out is None:
+                return
+            for p in out:
+                self.forward(p)
+        else:
+            self.forward(pkt)
+
+    def forward(self, pkt: Packet) -> None:
+        """Send a packet out the FIB-selected port for its destination."""
+        ports = self.fib.get(pkt.dst)
+        if not ports:
+            self.no_route_drops += 1
+            return
+        if len(ports) == 1:
+            port = ports[0]
+        else:
+            port = ports[hash(pkt.flow_key()) % len(ports)]
+        self.tx_packets += 1
+        port.send(pkt)
+
+    def send_from_switch(self, pkt: Packet) -> None:
+        """Emit a switch-originated packet (e.g. a NetCache cache hit reply)."""
+        pkt.arrival_ts = self.net.now
+        self.forward(pkt)

@@ -1,0 +1,176 @@
+"""Packet tracing: pcap-style capture inside the network simulator.
+
+The paper diagnoses behaviour by "inspection of simulation logs"; this
+module provides that capability as a first-class tool.  A
+:class:`PacketTracer` hooks switch ingress and link transmission points and
+records one entry per observation: timestamp, where, direction, and the
+packet's header fields.  Traces filter at capture time (by address, port,
+protocol, or a custom predicate), export to JSONL, and support simple
+queries (per-flow extraction, latency between two observation points).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .link import LinkDirection
+from .network import NetworkSim
+from .packet import Packet
+from .switch import Switch
+
+
+@dataclass(slots=True)
+class TraceEntry:
+    """One observation of a packet at an instrumentation point."""
+
+    ts: int
+    point: str       # e.g. "sw0:ingress", "swL->swR:tx"
+    uid: int
+    src: int
+    dst: int
+    proto: str
+    src_port: int
+    dst_port: int
+    size_bytes: int
+    seq: int = 0
+    ack: int = 0
+    flags: str = ""
+    ce: bool = False
+
+    @classmethod
+    def of(cls, ts: int, point: str, pkt: Packet) -> "TraceEntry":
+        """Snapshot a packet's header fields at an observation point."""
+        return cls(ts=ts, point=point, uid=pkt.uid, src=pkt.src, dst=pkt.dst,
+                   proto=pkt.proto, src_port=pkt.src_port,
+                   dst_port=pkt.dst_port, size_bytes=pkt.size_bytes,
+                   seq=pkt.seq, ack=pkt.ack, flags=pkt.flags, ce=pkt.ce)
+
+
+class PacketTracer:
+    """Captures packets at switches and links of one network simulator."""
+
+    def __init__(self, max_entries: int = 1_000_000,
+                 predicate: Optional[Callable[[Packet], bool]] = None) -> None:
+        self.entries: List[TraceEntry] = []
+        self.max_entries = max_entries
+        self.predicate = predicate
+        self.dropped = 0
+
+    # -- filters ----------------------------------------------------------
+
+    @staticmethod
+    def flow_filter(src: Optional[int] = None, dst: Optional[int] = None,
+                    proto: Optional[str] = None,
+                    port: Optional[int] = None) -> Callable[[Packet], bool]:
+        """Build a capture predicate from simple header matches."""
+
+        def pred(pkt: Packet) -> bool:
+            if src is not None and pkt.src != src:
+                return False
+            if dst is not None and pkt.dst != dst:
+                return False
+            if proto is not None and pkt.proto != proto:
+                return False
+            if port is not None and port not in (pkt.src_port, pkt.dst_port):
+                return False
+            return True
+
+        return pred
+
+    # -- capture -----------------------------------------------------------
+
+    def _record(self, ts: int, point: str, pkt: Packet) -> None:
+        if self.predicate is not None and not self.predicate(pkt):
+            return
+        if len(self.entries) >= self.max_entries:
+            self.dropped += 1
+            return
+        self.entries.append(TraceEntry.of(ts, point, pkt))
+
+    def attach_switch(self, switch: Switch) -> None:
+        """Record every packet entering the switch (ingress point)."""
+        original = switch.receive
+        point = f"{switch.name}:ingress"
+
+        def traced(pkt, port, _orig=original, _pt=point):
+            self._record(switch.net.now, _pt, pkt)
+            _orig(pkt, port)
+
+        switch.receive = traced
+
+    def attach_direction(self, direction: LinkDirection, label: str) -> None:
+        """Record packets when they start serialization on a link."""
+        previous = direction.on_tx_start
+        point = f"{label}:tx"
+
+        def hook(pkt, now, _prev=previous, _pt=point):
+            if _prev is not None:
+                _prev(pkt, now)
+            self._record(now, _pt, pkt)
+
+        direction.on_tx_start = hook
+
+    def attach_network(self, net: NetworkSim) -> int:
+        """Instrument every switch and link direction of a partition."""
+        points = 0
+        for node in net.nodes.values():
+            if isinstance(node, Switch):
+                self.attach_switch(node)
+                points += 1
+        for link in net.links:
+            a = link.port_a.node.name
+            b = link.port_b.node.name
+            self.attach_direction(link.dir_ab, f"{a}->{b}")
+            self.attach_direction(link.dir_ba, f"{b}->{a}")
+            points += 2
+        return points
+
+    # -- queries ---------------------------------------------------------------
+
+    def packets(self, uid: int) -> List[TraceEntry]:
+        """All observations of one packet, in time order."""
+        return sorted((e for e in self.entries if e.uid == uid),
+                      key=lambda e: e.ts)
+
+    def flow(self, src: int, dst: int) -> List[TraceEntry]:
+        """All observations of packets from ``src`` to ``dst``."""
+        return [e for e in self.entries if e.src == src and e.dst == dst]
+
+    def point_counts(self) -> Dict[str, int]:
+        """Observation count per instrumentation point."""
+        counts: Dict[str, int] = {}
+        for e in self.entries:
+            counts[e.point] = counts.get(e.point, 0) + 1
+        return counts
+
+    def latency_between(self, point_a: str, point_b: str) -> List[int]:
+        """Per-packet time from ``point_a`` to ``point_b`` (picoseconds)."""
+        first_seen: Dict[int, int] = {}
+        out: List[int] = []
+        for e in sorted(self.entries, key=lambda e: e.ts):
+            if e.point == point_a and e.uid not in first_seen:
+                first_seen[e.uid] = e.ts
+            elif e.point == point_b and e.uid in first_seen:
+                out.append(e.ts - first_seen.pop(e.uid))
+        return out
+
+    # -- export --------------------------------------------------------------------
+
+    def save(self, path: str) -> None:
+        """Write the trace as JSON-lines."""
+        with open(path, "w") as fh:
+            for e in self.entries:
+                fh.write(json.dumps(asdict(e), separators=(",", ":")) + "\n")
+
+    @classmethod
+    def load(cls, path: str) -> "PacketTracer":
+        """Read a trace written by :meth:`save`."""
+        tracer = cls()
+        with open(path) as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    tracer.entries.append(TraceEntry(**json.loads(line)))
+        return tracer

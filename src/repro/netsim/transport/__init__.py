@@ -1,0 +1,6 @@
+"""Transport protocols shared by every host fidelity."""
+
+from .stack import Stack, UdpSocket
+from .tcp import TcpConnection
+
+__all__ = ["Stack", "UdpSocket", "TcpConnection"]

@@ -1,0 +1,158 @@
+"""Transport stack: socket creation and packet demultiplexing.
+
+The stack is deliberately environment-agnostic.  Its ``env`` must provide:
+
+``now``             current simulated time (picoseconds)
+``call_after``      schedule a callback, returning a cancellable handle
+``cancel``          cancel such a handle
+``tx(pkt)``         hand a packet to the interface for transmission
+``charge(instr)``   account simulated CPU instructions (no-op on
+                    protocol-level hosts)
+``rng``             a seeded ``random.Random``
+
+Protocol-level hosts (:class:`repro.netsim.node.NetHost`) and detailed hosts
+(:mod:`repro.hostsim`) both satisfy this, so one UDP/TCP implementation
+serves every fidelity level — the property that makes mixed-fidelity
+simulation meaningful (same protocol behaviour, different execution cost).
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Callable, Dict, Optional, Tuple
+
+from ..packet import HEADER_BYTES, Packet
+from . import costs
+from .tcp import TcpConnection
+
+EPHEMERAL_BASE = 49_152
+
+
+class UdpSocket:
+    """A bound UDP socket."""
+
+    def __init__(self, stack: "Stack", port: int,
+                 on_dgram: Optional[Callable[[Packet], None]] = None) -> None:
+        self.stack = stack
+        self.port = port
+        self.on_dgram = on_dgram
+        self.tx_dgrams = 0
+        self.rx_dgrams = 0
+
+    def sendto(self, dst: int, dst_port: int, nbytes: int,
+               payload=None, ect: bool = False) -> Packet:
+        """Send one datagram of ``nbytes`` application payload."""
+        self.stack.env.charge(costs.UDP_TX_INSTR
+                              + int(costs.COPY_INSTR_PER_BYTE * nbytes))
+        pkt = Packet(
+            src=self.stack.addr, dst=dst, size_bytes=nbytes + HEADER_BYTES,
+            proto="udp", src_port=self.port, dst_port=dst_port,
+            payload=payload, ect=ect, create_ts=self.stack.env.now,
+        )
+        self.tx_dgrams += 1
+        self.stack.env.tx(pkt)
+        return pkt
+
+    def close(self) -> None:
+        """Unbind this socket's port."""
+        self.stack._udp.pop(self.port, None)
+
+    def _deliver(self, pkt: Packet) -> None:
+        self.rx_dgrams += 1
+        payload_bytes = max(0, pkt.size_bytes - HEADER_BYTES)
+        self.stack.env.charge(costs.UDP_RX_INSTR
+                              + int(costs.COPY_INSTR_PER_BYTE * payload_bytes))
+        if self.on_dgram is not None:
+            self.on_dgram(pkt)
+
+
+class Stack:
+    """Per-host transport stack: UDP sockets and TCP connections."""
+
+    def __init__(self, env, addr: int) -> None:
+        self.env = env
+        self.addr = addr
+        self._udp: Dict[int, UdpSocket] = {}
+        self._tcp_listeners: Dict[int, Tuple[Callable, str]] = {}
+        self._tcp: Dict[Tuple[int, int, int], TcpConnection] = {}
+        self._ephemeral = count(EPHEMERAL_BASE)
+        self.rx_packets = 0
+        self.rx_no_handler = 0
+
+    # -- UDP -----------------------------------------------------------------
+
+    def udp_socket(self, port: Optional[int] = None,
+                   on_dgram: Optional[Callable[[Packet], None]] = None) -> UdpSocket:
+        """Bind a UDP socket (ephemeral port when ``port`` is None)."""
+        if port is None:
+            port = next(self._ephemeral)
+        if port in self._udp:
+            raise ValueError(f"UDP port {port} already bound on {self.addr}")
+        sock = UdpSocket(self, port, on_dgram)
+        self._udp[port] = sock
+        return sock
+
+    # -- TCP -----------------------------------------------------------------
+
+    def tcp_listen(self, port: int, on_conn: Callable[[TcpConnection], None],
+                   variant: str = "newreno") -> None:
+        """Accept connections on ``port``; ``on_conn`` gets each new one."""
+        if port in self._tcp_listeners:
+            raise ValueError(f"TCP port {port} already listening on {self.addr}")
+        self._tcp_listeners[port] = (on_conn, variant)
+
+    def tcp_connect(self, dst: int, dst_port: int, variant: str = "newreno",
+                    on_connected: Optional[Callable[[TcpConnection], None]] = None,
+                    ) -> TcpConnection:
+        """Open a client connection (three-way handshake starts now)."""
+        local_port = next(self._ephemeral)
+        conn = TcpConnection(
+            self, local_port=local_port, peer=dst, peer_port=dst_port,
+            variant=variant, is_client=True, on_connected=on_connected,
+        )
+        self._tcp[(dst, dst_port, local_port)] = conn
+        conn.open()
+        return conn
+
+    def _register_accepted(self, conn: TcpConnection) -> None:
+        self._tcp[(conn.peer, conn.peer_port, conn.local_port)] = conn
+
+    def close_conn(self, conn: TcpConnection) -> None:
+        """Remove a connection from the demux table."""
+        self._tcp.pop((conn.peer, conn.peer_port, conn.local_port), None)
+
+    # -- demux -----------------------------------------------------------------
+
+    def handle_packet(self, pkt: Packet) -> None:
+        """Entry point for packets arriving from the network interface."""
+        self.rx_packets += 1
+        if pkt.proto == "tcp":
+            self._handle_tcp(pkt)
+            return
+        sock = self._udp.get(pkt.dst_port)
+        if sock is None:
+            self.rx_no_handler += 1
+            return
+        sock._deliver(pkt)
+
+    def _handle_tcp(self, pkt: Packet) -> None:
+        key = (pkt.src, pkt.src_port, pkt.dst_port)
+        conn = self._tcp.get(key)
+        if conn is not None:
+            conn.on_packet(pkt)
+            return
+        if "S" in pkt.flags and "A" not in pkt.flags:
+            listener = self._tcp_listeners.get(pkt.dst_port)
+            if listener is None:
+                self.rx_no_handler += 1
+                return
+            on_conn, variant = listener
+            conn = TcpConnection(
+                self, local_port=pkt.dst_port, peer=pkt.src,
+                peer_port=pkt.src_port, variant=variant, is_client=False,
+            )
+            self._register_accepted(conn)
+            conn.on_packet(pkt)
+            on_conn(conn)
+            return
+        self.rx_no_handler += 1

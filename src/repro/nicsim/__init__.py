@@ -1,0 +1,5 @@
+"""Behavioral NIC models (Intel X710 / i40e)."""
+
+from .i40e import I40eNic
+
+__all__ = ["I40eNic"]

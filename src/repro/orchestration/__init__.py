@@ -1,0 +1,8 @@
+"""Configuration and orchestration: System -> Instantiation -> Experiment."""
+
+from .instantiate import Experiment, ExperimentResult, Instantiation
+from .strategies import STRATEGIES, partition_fat_tree
+from .system import HostChoice, System
+
+__all__ = ["System", "HostChoice", "Instantiation", "Experiment",
+           "ExperimentResult", "STRATEGIES", "partition_fat_tree"]

@@ -1,0 +1,13 @@
+"""Execution runtimes: coordinator, multi-process runner, performance model."""
+
+from .costmodel import Machine, PAPER_MACHINE
+from .model import ModelChannel, ModelResult, ParallelExecutionModel, scale_recorder
+from .procrunner import ProcChannel, ProcSpec, ProcessRunner
+from .proxy import Proxy, ProxyPair
+from .simulation import DeadlockError, SimStats, Simulation
+
+__all__ = ["Simulation", "SimStats", "DeadlockError",
+           "ProcessRunner", "ProcSpec", "ProcChannel",
+           "ParallelExecutionModel", "ModelChannel", "ModelResult",
+           "scale_recorder", "Machine", "PAPER_MACHINE",
+           "Proxy", "ProxyPair"]

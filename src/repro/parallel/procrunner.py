@@ -1,0 +1,207 @@
+"""Run a SplitSim simulation with one OS process per component simulator.
+
+This is the "real" parallel runtime corresponding to the paper's deployment:
+each component simulator is its own process; channels are shared-memory
+rings (:mod:`repro.parallel.shm_ring`); synchronization is the conservative
+protocol from :mod:`repro.channels.channel`; blocked components busy-poll
+their input rings, and the time they spend doing so is measured with real
+nanosecond timestamps — exactly the quantity the SplitSim profiler reports.
+
+On a single-core machine (like this sandbox) this runtime is *correct* but
+cannot exhibit wall-clock speedup; the virtual-time model
+(:mod:`repro.parallel.model`) covers the performance experiments.
+
+Components are described by picklable factory callables so they can be
+constructed inside the child process::
+
+    spec = ProcSpec("a", make_pinger, ("a", True))
+    runner = ProcessRunner([spec_a, spec_b],
+                           [ProcChannel("a", "a.e", "b", "b.e")])
+    results = runner.run(until_ps=1 * MS)
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..kernel.component import Component
+from .shm_ring import ShmRing
+
+#: Spin iterations between sched-yield sleeps while blocked.
+_SPIN_BATCH = 200
+
+
+@dataclass
+class ProcSpec:
+    """Description of one component process.
+
+    Either a picklable ``factory`` (constructed inside the child) or a
+    prebuilt ``component`` (inherited through fork; nothing is pickled).
+    """
+
+    name: str
+    factory: Optional[Callable[..., Component]] = None
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+    component: Optional[Component] = None
+
+    def make(self) -> Component:
+        """Obtain the component (prebuilt or via the factory)."""
+        if self.component is not None:
+            return self.component
+        if self.factory is None:
+            raise ValueError(f"{self.name}: neither factory nor component")
+        return self.factory(*self.args, **self.kwargs)
+
+
+@dataclass
+class ProcChannel:
+    """A channel between named ends of two component processes.
+
+    End names refer to ``ChannelEnd.name`` values created by the factories.
+    """
+
+    comp_a: str
+    end_a: str
+    comp_b: str
+    end_b: str
+
+
+@dataclass
+class ProcResult:
+    """What one component process reports back after finishing."""
+
+    name: str
+    events: int = 0
+    wall_seconds: float = 0.0
+    wait_seconds: float = 0.0
+    end_counters: Dict[str, dict] = field(default_factory=dict)
+    outputs: dict = field(default_factory=dict)
+    error: Optional[str] = None
+
+
+def _find_end(comp: Component, end_name: str):
+    for end in comp.ends:
+        if end.name == end_name:
+            return end
+    raise KeyError(f"{comp.name}: no channel end named {end_name!r}")
+
+
+def _child_main(spec: ProcSpec, wiring: List[Tuple[str, str, str, str]],
+                until_ps: int, result_q, timeout_s: float) -> None:
+    result = ProcResult(name=spec.name)
+    rings: List[ShmRing] = []
+    try:
+        comp = spec.make()
+        for end_name, out_name, in_name, peer in wiring:
+            out_ring = ShmRing.attach(out_name)
+            in_ring = ShmRing.attach(in_name)
+            rings.extend((out_ring, in_ring))
+            _find_end(comp, end_name).wire(out_q=out_ring, in_q=in_ring,
+                                           peer_name=peer)
+        t_start = time.perf_counter()
+        deadline = t_start + timeout_s
+        wait_ns = 0
+        last_commit = -1
+        while True:
+            commit = comp.advance(until_ps)
+            if commit >= until_ps:
+                break
+            if commit == last_commit:
+                # Blocked: busy-poll inputs, measuring real wait time.
+                blocking = comp.blocking_ends()
+                if not blocking:
+                    continue
+                t0 = time.perf_counter_ns()
+                spins = 0
+                while all(e.in_q.empty() for e in blocking):
+                    spins += 1
+                    if spins % _SPIN_BATCH == 0:
+                        time.sleep(0)
+                        if time.perf_counter() > deadline:
+                            raise TimeoutError(
+                                f"{spec.name} stuck at commit={commit}"
+                            )
+                dt = time.perf_counter_ns() - t0
+                wait_ns += dt
+                share = dt / max(1, len(blocking))
+                for e in blocking:
+                    e.note_wait(share)
+            last_commit = commit
+        result.events = comp.events_processed
+        result.wall_seconds = time.perf_counter() - t_start
+        result.wait_seconds = wait_ns / 1e9
+        result.end_counters = {e.name: e.counters() for e in comp.ends}
+        collect = getattr(comp, "collect_outputs", None)
+        if collect is not None:
+            result.outputs = collect()
+    except Exception as exc:  # pragma: no cover - error path
+        result.error = f"{type(exc).__name__}: {exc}"
+    finally:
+        for ring in rings:
+            ring.close()
+        result_q.put(result)
+
+
+class ProcessRunner:
+    """Launches component processes, wires rings, and collects results."""
+
+    def __init__(self, specs: List[ProcSpec], channels: List[ProcChannel],
+                 ring_bytes: int = 1 << 20) -> None:
+        names = [s.name for s in specs]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate component names")
+        self.specs = specs
+        self.channels = channels
+        self.ring_bytes = ring_bytes
+
+    def run(self, until_ps: int, timeout_s: float = 120.0) -> Dict[str, ProcResult]:
+        """Run all components to ``until_ps``; returns per-component results."""
+        ctx = mp.get_context("fork")
+        rings: List[ShmRing] = []
+        # wiring[comp] = list of (end_name, out_ring, in_ring, peer_end_name)
+        wiring: Dict[str, List[Tuple[str, str, str, str]]] = {
+            s.name: [] for s in self.specs
+        }
+        try:
+            for ch in self.channels:
+                r_ab = ShmRing.create(self.ring_bytes)
+                r_ba = ShmRing.create(self.ring_bytes)
+                rings.extend((r_ab, r_ba))
+                wiring[ch.comp_a].append((ch.end_a, r_ab.name, r_ba.name, ch.end_b))
+                wiring[ch.comp_b].append((ch.end_b, r_ba.name, r_ab.name, ch.end_a))
+
+            result_q = ctx.Queue()
+            procs = [
+                ctx.Process(
+                    target=_child_main,
+                    args=(spec, wiring[spec.name], until_ps, result_q, timeout_s),
+                    name=f"splitsim-{spec.name}",
+                )
+                for spec in self.specs
+            ]
+            for p in procs:
+                p.start()
+            results: Dict[str, ProcResult] = {}
+            deadline = time.monotonic() + timeout_s + 10
+            while len(results) < len(procs):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TimeoutError("simulation processes did not finish")
+                res: ProcResult = result_q.get(timeout=remaining)
+                results[res.name] = res
+            for p in procs:
+                p.join(timeout=10)
+                if p.is_alive():  # pragma: no cover - cleanup path
+                    p.terminate()
+            errors = {n: r.error for n, r in results.items() if r.error}
+            if errors:
+                raise RuntimeError(f"component failures: {errors}")
+            return results
+        finally:
+            for ring in rings:
+                ring.close()
+                ring.unlink()

@@ -1,0 +1,160 @@
+"""Shared-memory SPSC message ring for multi-process channels.
+
+This is the transport that backs SplitSim channels when component simulators
+run as separate OS processes, mirroring SimBricks' shared-memory queues.
+One ring is single-producer/single-consumer: the producer owns the write
+cursor, the consumer owns the read cursor, and each cursor lives in its own
+cache line.  Messages are pickled into a contiguous byte ring as
+``[4-byte length][payload]``; a length of ``0xFFFFFFFF`` is a wrap marker.
+
+Cursor updates are 8-byte aligned stores; on x86-64 these are atomic in
+practice, which is the same assumption SimBricks' C implementation makes.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from multiprocessing import shared_memory
+from typing import Optional
+
+_HEADER = 128  # two cache-line-separated cursors
+_WRAP = 0xFFFFFFFF
+_LEN = struct.Struct("<I")
+
+
+class ShmRing:
+    """One directed message queue in shared memory.
+
+    Create with :meth:`create` in the parent, then :meth:`attach` by name in
+    each child process (producer side and consumer side).
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, owns: bool) -> None:
+        self._shm = shm
+        self._owns = owns
+        self._buf = shm.buf
+        self._capacity = len(shm.buf) - _HEADER
+        # local cursor caches (avoid re-reading shared memory when possible)
+        self._local_head = self._read_u64(0)
+        self._local_tail = self._read_u64(64)
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def create(cls, size_bytes: int = 1 << 20) -> "ShmRing":
+        """Allocate a new shared-memory ring (parent side)."""
+        shm = shared_memory.SharedMemory(create=True, size=_HEADER + size_bytes)
+        shm.buf[:_HEADER] = b"\x00" * _HEADER
+        return cls(shm, owns=True)
+
+    @classmethod
+    def attach(cls, name: str) -> "ShmRing":
+        """Open an existing ring by its shared-memory name (child side)."""
+        shm = shared_memory.SharedMemory(name=name)
+        return cls(shm, owns=False)
+
+    @property
+    def name(self) -> str:
+        """Shared-memory segment name to pass to :meth:`attach`."""
+        return self._shm.name
+
+    # -- cursor helpers ------------------------------------------------------
+
+    def _read_u64(self, off: int) -> int:
+        return int.from_bytes(self._buf[off:off + 8], "little")
+
+    def _write_u64(self, off: int, value: int) -> None:
+        self._buf[off:off + 8] = value.to_bytes(8, "little")
+
+    # head (write cursor) at offset 0, tail (read cursor) at offset 64.
+
+    # -- producer API --------------------------------------------------------
+
+    def push(self, msg) -> bool:
+        """Append a message; returns ``False`` if the ring is full."""
+        data = pickle.dumps(msg, protocol=pickle.HIGHEST_PROTOCOL)
+        need = _LEN.size + len(data)
+        head = self._local_head
+        tail = self._read_u64(64)
+        self._local_tail = tail
+        used = head - tail
+        cap = self._capacity
+        pos = head % cap
+        # Never split a record across the wrap point: emit a wrap marker.
+        tail_room = cap - pos
+        total = need if tail_room >= need else tail_room + need
+        if used + total > cap:
+            return False
+        if tail_room < need:
+            if tail_room >= _LEN.size:
+                self._buf[_HEADER + pos:_HEADER + pos + _LEN.size] = _LEN.pack(_WRAP)
+            head += tail_room
+            pos = 0
+        off = _HEADER + pos
+        self._buf[off:off + _LEN.size] = _LEN.pack(len(data))
+        self._buf[off + _LEN.size:off + _LEN.size + len(data)] = data
+        head += need
+        self._local_head = head
+        self._write_u64(0, head)
+        return True
+
+    # -- consumer API ----------------------------------------------------------
+
+    def pop(self):
+        """Remove and return the next message, or ``None`` if empty."""
+        tail = self._local_tail
+        head = self._read_u64(0)
+        if tail >= head:
+            return None
+        cap = self._capacity
+        pos = tail % cap
+        tail_room = cap - pos
+        if tail_room < _LEN.size:
+            tail += tail_room
+            pos = 0
+        else:
+            (length,) = _LEN.unpack(self._buf[_HEADER + pos:_HEADER + pos + _LEN.size])
+            if length == _WRAP:
+                tail += tail_room
+                pos = 0
+            else:
+                off = _HEADER + pos + _LEN.size
+                data = bytes(self._buf[off:off + length])
+                tail += _LEN.size + length
+                self._local_tail = tail
+                self._write_u64(64, tail)
+                return pickle.loads(data)
+        # We consumed a wrap marker; the record starts at offset 0.
+        if tail >= head:
+            self._local_tail = tail
+            self._write_u64(64, tail)
+            return None
+        (length,) = _LEN.unpack(self._buf[_HEADER:_HEADER + _LEN.size])
+        off = _HEADER + _LEN.size
+        data = bytes(self._buf[off:off + length])
+        tail += _LEN.size + length
+        self._local_tail = tail
+        self._write_u64(64, tail)
+        return pickle.loads(data)
+
+    def peek_stamp(self) -> Optional[int]:
+        """Stamp of the next message without consuming it (best effort)."""
+        head = self._read_u64(0)
+        return head if head > self._local_tail else None
+
+    def empty(self) -> bool:
+        """True when the consumer has drained everything published."""
+        return self._read_u64(0) <= self._local_tail
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Release this process's mapping of the ring."""
+        self._buf = None  # release exported memoryview before closing
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the underlying segment (creator side, after close)."""
+        if self._owns:
+            self._shm.unlink()

@@ -1,0 +1,10 @@
+"""SplitSim profiler: instrumentation, post-processing, and the WTPG."""
+
+from .instrument import StrictModeSampler, log_from_model, sample_component
+from .postprocess import ProfileAnalysis, analyze
+from .records import AdapterRecord, ProfileLog
+from .wtpg import bottleneck_nodes, build_wtpg, save_dot, to_dot, to_text
+
+__all__ = ["AdapterRecord", "ProfileLog", "analyze", "ProfileAnalysis",
+           "StrictModeSampler", "sample_component", "log_from_model",
+           "build_wtpg", "bottleneck_nodes", "to_dot", "to_text", "save_dot"]

@@ -1,0 +1,70 @@
+"""Command-line profiler post-processor.
+
+The paper's workflow: run the simulation with profiling enabled (each
+simulator periodically appends counter records), then run the
+post-processing script to get simulation speed, per-component efficiency,
+and the wait-time profile graph.  This CLI is that script::
+
+    splitsim-profile run1.jsonl run2.jsonl --drop-head 2 --dot wtpg.dot
+
+Multiple log files (one per simulator process) are simply concatenated.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .postprocess import analyze
+from .records import ProfileLog
+from .wtpg import build_wtpg, save_dot, to_text
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="splitsim-profile",
+        description="Post-process SplitSim profiler logs into metrics and a "
+                    "wait-time profile graph.")
+    parser.add_argument("logs", nargs="+", help="profiler JSONL log files")
+    parser.add_argument("--drop-head", type=int, default=1,
+                        help="warm-up records to drop per adapter")
+    parser.add_argument("--drop-tail", type=int, default=0,
+                        help="cool-down records to drop per adapter")
+    parser.add_argument("--dot", metavar="PATH",
+                        help="write the WTPG as Graphviz DOT to PATH")
+    parser.add_argument("--bottlenecks", type=int, default=3,
+                        help="how many bottleneck candidates to list")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    log = ProfileLog()
+    for path in args.logs:
+        try:
+            log.extend(ProfileLog.load(path).records)
+        except (OSError, ValueError) as exc:
+            print(f"error reading {path}: {exc}", file=sys.stderr)
+            return 1
+    if not log.records:
+        print("no profiler records found", file=sys.stderr)
+        return 1
+
+    analysis = analyze(log, drop_head=args.drop_head,
+                       drop_tail=args.drop_tail)
+    print(analysis.summary())
+    print()
+    graph = build_wtpg(analysis)
+    print(to_text(graph, title="wait-time profile"))
+    print()
+    print("likely bottlenecks:",
+          ", ".join(analysis.bottlenecks(args.bottlenecks)))
+    if args.dot:
+        save_dot(graph, args.dot, title="SplitSim WTPG")
+        print(f"wrote {args.dot}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

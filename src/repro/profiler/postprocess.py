@@ -1,0 +1,183 @@
+"""Profiler post-processing: from raw records to metrics.
+
+Mirrors the paper's §3.3.2: records hold monotonic totals, so the
+post-processor takes the difference between a late record and an early
+record (optionally dropping warm-up / cool-down samples), yielding:
+
+* **simulation speed** — simulated seconds advanced per wall-clock second
+  (identical across components since they are synchronized);
+* per-component **efficiency** — fraction of host cycles spent on actual
+  simulation work rather than waiting/sending/receiving in the adapters;
+* per-adapter **wait fractions** — the "who waits for whom" data that the
+  wait-time profile graph (:mod:`repro.profiler.wtpg`) visualizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..kernel.simtime import SEC
+from ..parallel.costmodel import Machine, PAPER_MACHINE
+from .records import AdapterRecord, ProfileLog
+
+
+@dataclass
+class AdapterMetrics:
+    """Differenced counters for one adapter over the analysis interval."""
+
+    comp: str
+    adapter: str
+    peer: str
+    wall_ns: float = 0.0
+    sim_ps: int = 0
+    wait_cycles: float = 0.0
+    tx_cycles: float = 0.0
+    rx_cycles: float = 0.0
+    tx_msgs: int = 0
+    rx_msgs: int = 0
+    tx_syncs: int = 0
+    rx_syncs: int = 0
+
+    @property
+    def comm_cycles(self) -> float:
+        """Cycles spent sending plus receiving on this adapter."""
+        return self.tx_cycles + self.rx_cycles
+
+
+@dataclass
+class ComponentMetrics:
+    """Aggregated per-component view."""
+
+    comp: str
+    wall_ns: float = 0.0
+    work_cycles: float = 0.0
+    wait_cycles: float = 0.0
+    comm_cycles: float = 0.0
+    adapters: List[AdapterMetrics] = field(default_factory=list)
+
+    @property
+    def accounted_cycles(self) -> float:
+        """Every cycle the profiler can attribute (work + wait + comm)."""
+        return self.work_cycles + self.wait_cycles + self.comm_cycles
+
+    @property
+    def efficiency(self) -> float:
+        """Fraction of cycles not spent in adapter receive/transmit/sync."""
+        total = self.accounted_cycles
+        if total <= 0:
+            return 1.0
+        return self.work_cycles / total
+
+    @property
+    def wait_fraction(self) -> float:
+        """Share of cycles spent blocked on synchronization."""
+        total = self.accounted_cycles
+        if total <= 0:
+            return 0.0
+        return self.wait_cycles / total
+
+
+@dataclass
+class ProfileAnalysis:
+    """Complete post-processed profile of one run."""
+
+    sim_speed: float  # simulated seconds per wall second
+    wall_seconds: float
+    sim_seconds: float
+    components: Dict[str, ComponentMetrics]
+    #: (comp, peer) -> fraction of comp's cycles spent waiting on peer
+    edge_wait_fraction: Dict[Tuple[str, str], float]
+
+    def bottlenecks(self, top: int = 3) -> List[str]:
+        """Components with the lowest wait fraction (i.e. the bottlenecks)."""
+        ranked = sorted(self.components.values(), key=lambda c: c.wait_fraction)
+        return [c.comp for c in ranked[:top]]
+
+    def summary(self) -> str:
+        """Human-readable overview of the whole analysis."""
+        lines = [f"sim speed: {self.sim_speed:.4e} sim-s/wall-s "
+                 f"({self.wall_seconds:.2f}s wall for {self.sim_seconds:.4f}s sim)"]
+        for name in sorted(self.components):
+            cm = self.components[name]
+            lines.append(
+                f"  {name}: efficiency={cm.efficiency:.2f} "
+                f"wait={cm.wait_fraction:.2f} comm_cycles={cm.comm_cycles:.3g}"
+            )
+        return "\n".join(lines)
+
+
+def _trimmed(records: List[AdapterRecord], drop_head: int,
+             drop_tail: int) -> Optional[Tuple[AdapterRecord, AdapterRecord]]:
+    if len(records) < 2:
+        return None
+    records = sorted(records, key=lambda r: r.tsc_ns)
+    lo = drop_head
+    hi = len(records) - 1 - drop_tail
+    if hi <= lo:
+        lo, hi = 0, len(records) - 1
+    return records[lo], records[hi]
+
+
+def analyze(log: ProfileLog, drop_head: int = 0, drop_tail: int = 0,
+            machine: Machine = PAPER_MACHINE) -> ProfileAnalysis:
+    """Post-process a profile log into metrics.
+
+    ``drop_head``/``drop_tail`` discard warm-up and cool-down records per
+    adapter, as in the paper.  ``machine`` converts wall nanoseconds into
+    cycles for the efficiency computation.
+    """
+    by_adapter: Dict[Tuple[str, str], List[AdapterRecord]] = {}
+    for rec in log.records:
+        by_adapter.setdefault((rec.comp, rec.adapter), []).append(rec)
+
+    comps: Dict[str, ComponentMetrics] = {}
+    edge_wait: Dict[Tuple[str, str], float] = {}
+    wall_ns = 0.0
+    sim_ps = 0
+    work_seen: Dict[str, float] = {}
+
+    for (comp, adapter), recs in sorted(by_adapter.items()):
+        pair = _trimmed(recs, drop_head, drop_tail)
+        if pair is None:
+            continue
+        first, last = pair
+        am = AdapterMetrics(
+            comp=comp, adapter=adapter, peer=last.peer,
+            wall_ns=last.tsc_ns - first.tsc_ns,
+            sim_ps=last.sim_ps - first.sim_ps,
+            wait_cycles=last.wait_cycles - first.wait_cycles,
+            tx_cycles=last.tx_cycles - first.tx_cycles,
+            rx_cycles=last.rx_cycles - first.rx_cycles,
+            tx_msgs=last.tx_msgs - first.tx_msgs,
+            rx_msgs=last.rx_msgs - first.rx_msgs,
+            tx_syncs=last.tx_syncs - first.tx_syncs,
+            rx_syncs=last.rx_syncs - first.rx_syncs,
+        )
+        cm = comps.setdefault(comp, ComponentMetrics(comp=comp))
+        cm.adapters.append(am)
+        cm.wait_cycles += am.wait_cycles
+        cm.comm_cycles += am.comm_cycles
+        cm.wall_ns = max(cm.wall_ns, am.wall_ns)
+        work_seen[comp] = last.work_cycles - first.work_cycles
+        wall_ns = max(wall_ns, am.wall_ns)
+        sim_ps = max(sim_ps, am.sim_ps)
+
+    for comp, cm in comps.items():
+        cm.work_cycles = work_seen.get(comp, 0.0)
+        total = cm.accounted_cycles
+        for am in cm.adapters:
+            if total > 0 and am.peer:
+                key = (comp, am.peer)
+                edge_wait[key] = edge_wait.get(key, 0.0) + am.wait_cycles / total
+
+    sim_seconds = sim_ps / SEC
+    wall_seconds = wall_ns / 1e9
+    speed = sim_seconds / wall_seconds if wall_seconds > 0 else float("inf")
+    return ProfileAnalysis(
+        sim_speed=speed,
+        wall_seconds=wall_seconds,
+        sim_seconds=sim_seconds,
+        components=comps,
+        edge_wait_fraction=edge_wait,
+    )

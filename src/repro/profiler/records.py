@@ -1,0 +1,93 @@
+"""Raw profiler records and their on-disk format.
+
+Each component simulator periodically logs, per channel adapter, the
+monotonic totals of its synchronization/communication counters together
+with the current host clock (``tsc_ns``, a real or modeled nanosecond
+timestamp) and the simulator's current simulated time (``sim_ps``).
+Post-processing (:mod:`repro.profiler.postprocess`) differences a late and
+an early record, which makes the instrumentation cheap and robust: no rates
+are computed online, and dropping warm-up/cool-down records is a
+post-processing decision.
+
+Records serialize as JSON-lines so logs from separate simulator processes
+can simply be concatenated.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Iterable, List
+
+
+@dataclass
+class AdapterRecord:
+    """One periodic sample of one adapter's counters (monotonic totals)."""
+
+    comp: str
+    adapter: str
+    peer: str
+    tsc_ns: float
+    sim_ps: int
+    wait_cycles: float = 0.0
+    tx_cycles: float = 0.0
+    rx_cycles: float = 0.0
+    tx_msgs: int = 0
+    rx_msgs: int = 0
+    tx_syncs: int = 0
+    rx_syncs: int = 0
+    #: total host cycles of simulation work the component has performed
+    work_cycles: float = 0.0
+
+    def to_json(self) -> str:
+        """Serialize as one JSONL line."""
+        return json.dumps(asdict(self), separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, line: str) -> "AdapterRecord":
+        """Parse one JSONL line."""
+        return cls(**json.loads(line))
+
+
+@dataclass
+class ProfileLog:
+    """A collection of adapter records from one simulation run."""
+
+    records: List[AdapterRecord] = field(default_factory=list)
+
+    def append(self, record: AdapterRecord) -> None:
+        """Add one sample."""
+        self.records.append(record)
+
+    def extend(self, records: Iterable[AdapterRecord]) -> None:
+        """Add many samples (e.g. merging per-process logs)."""
+        self.records.extend(records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def save(self, path: str | Path) -> None:
+        """Write the log as JSON-lines."""
+        with open(path, "w") as fh:
+            for rec in self.records:
+                fh.write(rec.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ProfileLog":
+        """Read a JSON-lines log written by :meth:`save`."""
+        log = cls()
+        with open(path) as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    log.append(AdapterRecord.from_json(line))
+        return log
+
+    def components(self) -> List[str]:
+        """Names of all components with at least one record."""
+        return sorted({r.comp for r in self.records})
+
+    def adapters_of(self, comp: str) -> List[str]:
+        """Adapter names recorded for one component."""
+        return sorted({r.adapter for r in self.records if r.comp == comp})

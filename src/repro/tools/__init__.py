@@ -1,0 +1,1 @@
+"""Command-line tools: the experiment runner and profiler post-processor."""

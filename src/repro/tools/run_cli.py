@@ -1,0 +1,141 @@
+"""``splitsim-run``: execute a SplitSim configuration script.
+
+The paper's orchestration workflow: the user writes a Python script that
+builds a :class:`~repro.orchestration.system.System`; SplitSim applies the
+implementation choices and runs everything — process startup, channel
+wiring, output collection, teardown — automatically.  This CLI is that
+entry point::
+
+    splitsim-run myconfig.py --duration 20ms --partition ac --profile
+
+The config script must define ``build() -> System`` and may define
+``DURATION`` (default duration string) and ``INSTANTIATION`` (a dict of
+keyword overrides for :class:`~repro.orchestration.instantiate.Instantiation`).
+After the run, per-app statistics are printed and optionally written as
+JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from ..kernel.simtime import SEC, parse_time
+from ..orchestration.instantiate import Instantiation
+from ..orchestration.strategies import STRATEGIES
+from ..orchestration.system import System
+from ..profiler.wtpg import build_wtpg, to_text
+
+
+def load_config(path: str):
+    config_path = Path(path)
+    if not config_path.exists():
+        raise FileNotFoundError(path)
+    spec = importlib.util.spec_from_file_location("splitsim_config",
+                                                  config_path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    if not hasattr(module, "build"):
+        raise AttributeError(f"{path} must define build() -> System")
+    return module
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="splitsim-run",
+        description="Run a SplitSim system-configuration script.")
+    parser.add_argument("config", help="Python config file defining build()")
+    parser.add_argument("--duration", default=None,
+                        help='simulated time, e.g. "20ms" (default: the '
+                             "config's DURATION or 10ms)")
+    parser.add_argument("--mode", choices=("fast", "strict"), default="fast")
+    parser.add_argument("--partition", default=None,
+                        help=f"network partition strategy "
+                             f"({', '.join(sorted(STRATEGIES))})")
+    parser.add_argument("--profile", action="store_true",
+                        help="enable the SplitSim profiler (implies strict)")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write run outputs as JSON")
+    return parser
+
+
+def collect_app_stats(exp) -> dict:
+    out = {}
+    for name in exp.system.hosts:
+        for i, app in enumerate(exp.apps_of(name)):
+            key = f"{name}.app{i}"
+            entry = {"type": type(app).__name__}
+            stats = getattr(app, "stats", None)
+            if stats is not None and hasattr(stats, "completed"):
+                entry["completed"] = stats.completed
+                entry["mean_latency_ps"] = stats.mean_latency()
+            if getattr(app, "delivered", None) is not None:
+                entry["delivered_bytes"] = app.delivered
+            out[key] = entry
+    return out
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        module = load_config(args.config)
+    except (FileNotFoundError, AttributeError, SyntaxError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    system = module.build()
+    if not isinstance(system, System):
+        print("error: build() must return a repro.System", file=sys.stderr)
+        return 1
+
+    inst_kwargs = dict(getattr(module, "INSTANTIATION", {}))
+    inst_kwargs.setdefault("mode", args.mode)
+    if args.partition:
+        if args.partition not in STRATEGIES:
+            print(f"error: unknown partition strategy {args.partition!r}",
+                  file=sys.stderr)
+            return 1
+        inst_kwargs["network_partition"] = STRATEGIES[args.partition]
+    if args.profile:
+        inst_kwargs["profile"] = True
+
+    duration_text = args.duration or getattr(module, "DURATION", "10ms")
+    duration = parse_time(duration_text)
+
+    exp = Instantiation(system, **inst_kwargs).build()
+    components = [c.name for c in exp.sim.components]
+    print(f"running {len(components)} component simulators for "
+          f"{duration_text}: {', '.join(components)}")
+    result = exp.run(duration)
+    stats = result.stats
+    print(f"done: {stats.events} events in {stats.wall_seconds:.2f}s wall "
+          f"({stats.events_per_second:.0f} ev/s)")
+
+    app_stats = collect_app_stats(exp)
+    for key in sorted(app_stats):
+        print(f"  {key}: {app_stats[key]}")
+
+    if args.profile:
+        analysis = exp.profile_analysis()
+        print()
+        print(analysis.summary())
+        print(to_text(build_wtpg(analysis), title="wait-time profile"))
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump({
+                "duration_ps": duration,
+                "events": stats.events,
+                "wall_seconds": stats.wall_seconds,
+                "apps": app_stats,
+            }, fh, indent=2, default=str)
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,66 @@
+"""Tests for the bulk-transfer applications (incl. paced-burst mode)."""
+
+import pytest
+
+from repro.kernel.simtime import MS, SEC, US
+from repro.netsim.apps.bulk import BulkSender, BulkSink
+from repro.netsim.topology import dumbbell, instantiate
+from repro.parallel.simulation import Simulation
+
+
+def run_sender(until=50 * MS, sample_every_bytes=256 * 1024, **sender_kw):
+    spec = dumbbell(pairs=1)
+    spec.on_host("rcv0", lambda h: BulkSink(
+        port=5001, sample_every_bytes=sample_every_bytes))
+    dst = spec.addr_of("rcv0")
+    spec.on_host("snd0", lambda h: BulkSender(dst, 5001, **sender_kw))
+    build = instantiate(spec)
+    sim = Simulation(mode="fast")
+    sim.add(build.net)
+    sim.run(until)
+    return build.host("rcv0").apps[0]
+
+
+def test_finite_transfer_stops():
+    sink = run_sender(total_bytes=100_000)
+    assert sink.delivered == 100_000
+
+
+def test_unlimited_transfer_keeps_going():
+    sink = run_sender(total_bytes=None, until=20 * MS)
+    # 10G link, 20ms: far more than one refill chunk
+    assert sink.delivered > 10_000_000
+
+
+def test_burst_mode_rate_limits():
+    # 256 KiB every 5 ms ~= 419 Mbps average on a 10G path
+    sink = run_sender(burst_bytes=256 * 1024, burst_interval_ps=5 * MS,
+                      until=50 * MS)
+    rate = sink.goodput_bps(10 * MS, 50 * MS)
+    assert 0.2e9 < rate < 0.7e9
+
+
+def test_burst_mode_much_slower_than_saturating():
+    paced = run_sender(burst_bytes=128 * 1024, burst_interval_ps=10 * MS,
+                       until=30 * MS)
+    greedy = run_sender(total_bytes=None, until=30 * MS)
+    assert paced.delivered < greedy.delivered / 5
+
+
+def test_start_delay_postpones_traffic():
+    sink = run_sender(total_bytes=50_000, start_delay_ps=10 * MS,
+                      until=30 * MS, sample_every_bytes=1_000)
+    assert sink.samples  # delivered eventually
+    first_ts = sink.samples[0][0]
+    assert first_ts > 10 * MS
+
+
+def test_sink_goodput_requires_valid_window():
+    sink = run_sender(total_bytes=10_000)
+    with pytest.raises(ValueError):
+        sink.goodput_bps(5 * MS, 5 * MS)
+
+
+def test_sink_counts_connections():
+    sink = run_sender(total_bytes=10_000)
+    assert sink.connections == 1

@@ -1,0 +1,119 @@
+"""Tests for SplitSim channels and the conservative sync protocol."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.channels.channel import ChannelEnd, FifoQueue, connect
+from repro.channels.messages import RawMsg, SyncMsg
+from repro.kernel.simtime import NS, TIME_INFINITY, US
+
+
+def make_pair(latency=1 * US):
+    a = ChannelEnd("a", latency=latency)
+    b = ChannelEnd("b", latency=latency)
+    connect(a, b)
+    return a, b
+
+
+def test_latency_must_be_positive():
+    with pytest.raises(ValueError):
+        ChannelEnd("bad", latency=0)
+
+
+def test_send_stamps_delivery_time():
+    a, b = make_pair(latency=3 * NS)
+    a.send(RawMsg(payload="x"), now=10 * NS)
+    msgs = list(b.poll())
+    assert len(msgs) == 1
+    assert msgs[0].stamp == 13 * NS
+    assert b.horizon() == 13 * NS
+
+
+def test_stamps_monotonic_enforced():
+    a, b = make_pair()
+    a.send(RawMsg(), now=100)
+    with pytest.raises(AssertionError):
+        # channel-end API requires non-decreasing send times
+        a.send(RawMsg(), now=-(2 * US))
+
+
+def test_sync_raises_peer_horizon():
+    a, b = make_pair(latency=5 * NS)
+    a.maybe_sync(commit=0)
+    list(b.poll())
+    assert b.horizon() == 5 * NS
+    a.maybe_sync(commit=20 * NS)
+    list(b.poll())
+    assert b.horizon() == 25 * NS
+
+
+def test_sync_not_resent_for_same_commit():
+    a, b = make_pair()
+    a.maybe_sync(commit=100)
+    a.maybe_sync(commit=100)
+    assert a.tx_syncs == 1
+
+
+def test_data_message_also_advances_horizon():
+    a, b = make_pair(latency=1 * NS)
+    a.send(RawMsg(), now=50)
+    list(b.poll())
+    assert b.horizon() == 50 + 1 * NS
+    # a sync for an older commit is suppressed (stamp not newer)
+    a.maybe_sync(commit=40)
+    assert a.tx_syncs == 0
+
+
+def test_poll_filters_syncs_and_counts():
+    a, b = make_pair()
+    a.send(RawMsg(payload=1), now=0)
+    a.maybe_sync(commit=10 * NS)
+    a.send(RawMsg(payload=2), now=20 * NS)
+    data = list(b.poll())
+    assert [m.payload for m in data] == [1, 2]
+    assert b.rx_msgs == 2
+    assert b.rx_syncs == 1
+    assert a.tx_msgs == 2
+    assert a.tx_syncs == 1
+
+
+def test_unsynchronized_end_has_infinite_horizon():
+    a, b = make_pair()
+    b.synchronized = False
+    assert b.horizon() == TIME_INFINITY
+    b.maybe_sync(commit=100)  # no-op when unsynchronized
+    assert b.tx_syncs == 0
+
+
+def test_counters_snapshot_keys():
+    a, _ = make_pair()
+    snap = a.counters()
+    for key in ("tx_msgs", "rx_msgs", "tx_syncs", "rx_syncs",
+                "wait_polls", "wait_cycles", "tx_bytes"):
+        assert key in snap
+
+
+def test_note_wait_accumulates():
+    a, _ = make_pair()
+    a.note_wait(10)
+    a.note_wait(15)
+    assert a.wait_polls == 2
+    assert a.wait_cycles == 25
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10**6), max_size=100),
+       st.integers(min_value=1, max_value=10**4))
+@settings(max_examples=50)
+def test_delivery_stamps_sorted_and_complete(send_gaps, latency):
+    """Any non-decreasing send schedule yields sorted, complete delivery."""
+    a, b = make_pair(latency=latency)
+    now = 0
+    sent = []
+    for i, gap in enumerate(send_gaps):
+        now += gap
+        a.send(RawMsg(payload=i), now=now)
+        sent.append(now + latency)
+    got = list(b.poll())
+    assert [m.payload for m in got] == list(range(len(send_gaps)))
+    assert [m.stamp for m in got] == sent
+    assert sorted(sent) == sent

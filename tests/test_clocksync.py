@@ -1,0 +1,88 @@
+"""Tests for the clock-synchronization daemons (NTP, PTP, phc2sys)."""
+
+import pytest
+
+from repro.kernel.simtime import MS, NS, SEC, US
+from repro.netsim.topology import datacenter
+from repro.orchestration.instantiate import Instantiation
+from repro.orchestration.system import System
+from repro.hostsim.guest.clocksync import (ChronyNtpApp, ChronyPhcApp,
+                                           NtpServerApp, PtpMasterApp,
+                                           Ptp4lApp, SyncStats)
+
+GBPS = 1e9
+RUN = int(0.6 * SEC)
+SETTLE = int(0.3 * SEC)
+
+
+def clock_system(kind, client_drift=40.0, seed=11):
+    spec = datacenter(aggs=1, racks_per_agg=2, hosts_per_rack=2,
+                      core_bw=40 * GBPS, agg_bw=40 * GBPS, host_bw=10 * GBPS,
+                      external_hosts=2)
+    system = System.from_topospec(spec, seed=seed)
+    server, client = system.detailed_hosts()
+    system.hosts[server].clock_drift_ppm = 0.0
+    system.hosts[server].phc_drift_ppm = 0.0
+    system.hosts[client].clock_drift_ppm = client_drift
+    if kind == "ntp":
+        system.app(server, lambda h: NtpServerApp())
+        addr = system.addr_of(server)
+        system.app(client, lambda h: ChronyNtpApp(addr,
+                                                  poll_interval_ps=25 * MS))
+    else:
+        system.app(server, lambda h: PtpMasterApp(sync_interval_ps=25 * MS))
+        addr = system.addr_of(server)
+        system.app(client, lambda h: Ptp4lApp(addr))
+        system.app(client, lambda h: ChronyPhcApp(h.apps[0],
+                                                  poll_interval_ps=10 * MS))
+    return system, client
+
+
+def run_daemon(kind, **kw):
+    system, client = clock_system(kind, **kw)
+    exp = Instantiation(system, transparent_clocks=(kind == "ptp")).build()
+    exp.run(RUN)
+    return exp.apps_of(client)[-1]
+
+
+@pytest.mark.slow
+def test_ntp_converges_and_bounds_error():
+    daemon = run_daemon("ntp")
+    st = daemon.stats
+    assert st.samples >= 10
+    true_err = st.settled_true_error_ps(SETTLE)
+    bound = st.settled_bound_ps(SETTLE)
+    # converged to microsecond-land despite 40 ppm drift
+    assert true_err < 5 * US
+    assert bound < 50 * US
+    assert bound > true_err  # the bound must actually bound
+
+
+@pytest.mark.slow
+def test_ptp_much_tighter_than_ntp():
+    ntp = run_daemon("ntp").stats
+    ptp = run_daemon("ptp").stats
+    assert ptp.settled_bound_ps(SETTLE) < ntp.settled_bound_ps(SETTLE) / 3
+    assert ptp.settled_bound_ps(SETTLE) < 2 * US
+    assert ptp.settled_true_error_ps(SETTLE) < 1 * US
+
+
+def test_sync_stats_helpers():
+    st = SyncStats()
+    st.bounds = [(0, 100), (10, 200), (20, 300)]
+    st.true_errors = [(0, -50), (10, 25), (20, -10)]
+    assert st.settled_bound_ps(10) == 250
+    assert st.settled_true_error_ps(10) == pytest.approx(17.5)
+    assert st.max_true_error_ps(0) == 50
+    assert SyncStats().settled_bound_ps(0) == float("inf")
+
+
+def test_ntp_packet_shapes():
+    from repro.hostsim.guest.clocksync import (NtpPacket, PtpDelayReq,
+                                               PtpDelayResp, PtpFollowUp,
+                                               PtpSync)
+    assert PtpSync(seq=1).ptp_event
+    assert PtpDelayReq(seq=1).ptp_event
+    assert not PtpFollowUp(seq=1).ptp_event
+    assert not PtpDelayResp(seq=1).ptp_event
+    assert NtpPacket(mode="req").t1 == 0

@@ -1,0 +1,104 @@
+"""Tests for the commit-wait store (CockroachDB stand-in)."""
+
+import pytest
+
+from repro.kernel.simtime import MS, SEC, US
+from repro.netsim.topology import single_switch_rack
+from repro.orchestration.instantiate import Instantiation
+from repro.orchestration.system import System
+from repro.hostsim.guest.crdb import (CrdbClientApp, CrdbServerApp,
+                                      chrony_bound_fn)
+
+
+def crdb_experiment(bound_ps, write_frac=0.5, window=6, n_keys=8,
+                    zipf_theta=1.4, seed=5, n_ranges=1):
+    spec = single_switch_rack(servers=1, clients=2, external_servers=True)
+    system = System.from_topospec(spec, seed=seed)
+    server = "server0"
+    system.app(server, lambda h: CrdbServerApp(bound_fn=lambda: bound_ps,
+                                               n_ranges=n_ranges))
+    addr = system.addr_of(server)
+    for i in range(2):
+        system.app(f"client{i}", lambda h: CrdbClientApp(
+            [addr], window=window, n_keys=n_keys, zipf_theta=zipf_theta,
+            write_frac=write_frac))
+    exp = Instantiation(system).build()
+    exp.run(60 * MS)
+    clients = [exp.app(f"client{i}") for i in range(2)]
+    server_app = exp.app(server)
+    return clients, server_app
+
+
+def collect(clients, op=None):
+    lo, hi = 20 * MS, 60 * MS
+    tput = sum(c.stats.throughput_rps(lo, hi, op) for c in clients)
+    lats = []
+    for c in clients:
+        lats += c.stats.latency_values(lo, op)
+    mean = sum(lats) / len(lats) if lats else 0
+    return tput, mean
+
+
+def test_commit_wait_inflates_write_latency_only():
+    clients, _ = crdb_experiment(bound_ps=100 * US)
+    _, write_lat = collect(clients, "w")
+    _, read_lat = collect(clients, "r")
+    assert write_lat > read_lat + 80 * US
+
+
+def test_tighter_bound_improves_writes():
+    # write-heavy and key-contended so the commit-wait latch is saturated
+    loose, _ = crdb_experiment(bound_ps=100 * US, write_frac=1.0, n_keys=2)
+    tight, _ = crdb_experiment(bound_ps=1 * US, write_frac=1.0, n_keys=2)
+    loose_tput, loose_lat = collect(loose, "w")
+    tight_tput, tight_lat = collect(tight, "w")
+    assert tight_tput > 1.1 * loose_tput
+    assert tight_lat < loose_lat
+
+
+def test_reads_less_bound_sensitive_than_writes():
+    """Reads never commit-wait; the bound hits them only indirectly
+    (closed-loop coupling through the shared CPU), so their latency must
+    be far less sensitive to the bound than write latency is."""
+    loose, _ = crdb_experiment(bound_ps=200 * US, n_ranges=1024)
+    tight, _ = crdb_experiment(bound_ps=1 * US, n_ranges=1024)
+    _, loose_read = collect(loose, "r")
+    _, tight_read = collect(tight, "r")
+    _, loose_write = collect(loose, "w")
+    _, tight_write = collect(tight, "w")
+    write_blowup = loose_write / tight_write
+    read_blowup = loose_read / tight_read
+    assert write_blowup > 1.2
+    assert read_blowup < 0.8 * write_blowup
+
+
+def test_latch_serializes_hot_key_writes():
+    """With one hot key, write completions are spaced by >= the wait."""
+    clients, server = crdb_experiment(bound_ps=200 * US, write_frac=1.0,
+                                      n_keys=1, window=4)
+    tput, _ = collect(clients, "w")
+    # exec (~25us) + commit wait 200us per write on a single latch
+    assert tput < 1.2 * SEC / (200 * US)
+    assert server.total_commit_wait_ps > 0
+
+
+def test_server_counters():
+    clients, server = crdb_experiment(bound_ps=1 * US)
+    completed = sum(c.stats.completed for c in clients)
+    assert server.served_reads + server.served_writes >= completed
+    assert len(server.store) > 0
+
+
+def test_chrony_bound_fn_defaults_pessimistic():
+    class FakeDaemon:
+        class stats:
+            bounds = []
+
+    fn = chrony_bound_fn(FakeDaemon())
+    assert fn() == 1 * MS
+
+    class LiveDaemon:
+        class stats:
+            bounds = [(0, 123)]
+
+    assert chrony_bound_fn(LiveDaemon())() == 123

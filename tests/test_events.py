@@ -1,0 +1,99 @@
+"""Unit and property tests for the event queue."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.kernel.events import EventQueue
+
+
+def test_schedule_and_pop_in_order():
+    q = EventQueue()
+    fired = []
+    q.schedule(30, fired.append, "c")
+    q.schedule(10, fired.append, "a")
+    q.schedule(20, fired.append, "b")
+    while q:
+        ev = q.pop()
+        ev.fn(*ev.args)
+    assert fired == ["a", "b", "c"]
+
+
+def test_ties_fire_in_insertion_order():
+    q = EventQueue()
+    order = []
+    for tag in range(5):
+        q.schedule(100, order.append, tag)
+    while q:
+        ev = q.pop()
+        ev.fn(*ev.args)
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_negative_time_rejected():
+    q = EventQueue()
+    with pytest.raises(ValueError):
+        q.schedule(-1, lambda: None)
+
+
+def test_cancel_skips_event():
+    q = EventQueue()
+    ev1 = q.schedule(10, lambda: None)
+    q.schedule(20, lambda: None)
+    q.cancel(ev1)
+    assert len(q) == 1
+    popped = q.pop()
+    assert popped.ts == 20
+    assert q.pop() is None
+
+
+def test_cancel_is_idempotent():
+    q = EventQueue()
+    ev = q.schedule(10, lambda: None)
+    q.cancel(ev)
+    q.cancel(ev)
+    assert len(q) == 0
+
+
+def test_peek_ts_skips_cancelled():
+    q = EventQueue()
+    ev = q.schedule(10, lambda: None)
+    q.schedule(25, lambda: None)
+    q.cancel(ev)
+    assert q.peek_ts() == 25
+
+
+def test_len_counts_live_events_only():
+    q = EventQueue()
+    evs = [q.schedule(i, lambda: None) for i in range(10)]
+    for ev in evs[::2]:
+        q.cancel(ev)
+    assert len(q) == 5
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10**6), max_size=200))
+def test_pop_order_is_nondecreasing(timestamps):
+    q = EventQueue()
+    for ts in timestamps:
+        q.schedule(ts, lambda: None)
+    out = []
+    while q:
+        out.append(q.pop().ts)
+    assert out == sorted(timestamps)
+
+
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=1000),
+                          st.booleans()), max_size=100))
+def test_cancellation_property(items):
+    """Popped events are exactly the non-cancelled ones, in order."""
+    q = EventQueue()
+    expected = []
+    for ts, keep in items:
+        ev = q.schedule(ts, lambda: None)
+        if keep:
+            expected.append(ts)
+        else:
+            q.cancel(ev)
+    out = []
+    while q:
+        out.append(q.pop().ts)
+    assert out == sorted(expected)

@@ -1,0 +1,54 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are part of the public deliverable; they must keep working.  The
+heavyweight ones are exercised with reduced spans by importing their
+modules rather than spawning subprocesses (single-core CI budget).
+"""
+
+import runpy
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 360) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+@pytest.mark.slow
+def test_quickstart_example():
+    out = run_example("quickstart.py")
+    assert "completed requests:" in out
+    assert "server CPU utilization" in out
+
+
+@pytest.mark.slow
+def test_netcache_vs_pegasus_example():
+    out = run_example("netcache_vs_pegasus.py", timeout=500)
+    assert "netcache" in out and "pegasus" in out
+    assert "e2e" in out
+
+
+@pytest.mark.slow
+def test_partition_and_profile_example():
+    out = run_example("partition_and_profile.py", timeout=500)
+    assert "sim speed" in out
+    assert "WTPG" in out
+
+
+def test_examples_are_documented():
+    scripts = sorted(EXAMPLES.glob("*.py"))
+    assert len(scripts) >= 3, "need at least three runnable examples"
+    for script in scripts:
+        text = script.read_text()
+        assert text.lstrip().startswith(("#!", '"""')), script.name
+        assert '"""' in text, f"{script.name} lacks a docstring"

@@ -1,0 +1,91 @@
+"""Tests for the decomposed multi-core (gem5) simulation."""
+
+import pytest
+
+from repro.kernel.simtime import US
+from repro.gem5split.build import (build_multicore, measure_multicore,
+                                   run_traces, validate_against_sequential)
+from repro.gem5split.workload import CoreProgram, WorkloadSpec
+
+
+def test_core_program_deterministic():
+    a = CoreProgram(0, WorkloadSpec(), seed=1)
+    b = CoreProgram(0, WorkloadSpec(), seed=1)
+    assert [a.next_iteration() for _ in range(10)] == \
+        [b.next_iteration() for _ in range(10)]
+
+
+def test_core_programs_differ_across_cores():
+    a = CoreProgram(0, WorkloadSpec(), seed=1)
+    b = CoreProgram(1, WorkloadSpec(), seed=1)
+    assert [a.next_iteration() for _ in range(10)] != \
+        [b.next_iteration() for _ in range(10)]
+
+
+def test_addresses_cacheline_aligned():
+    prog = CoreProgram(2, WorkloadSpec(), seed=3)
+    for _ in range(50):
+        _, _, addr, _ = prog.next_iteration()
+        assert addr % 64 == 0
+
+
+def test_build_validates_core_count():
+    with pytest.raises(ValueError):
+        build_multicore(0)
+
+
+def test_cores_make_progress_and_share_memory():
+    build = build_multicore(4, seed=2)
+    build.sim.run(100 * US)
+    for core in build.cores:
+        assert core.program.iterations > 10
+        assert core.mem_requests > 0
+        assert core.l1_hits > 0
+    assert build.memory.requests == sum(c.mem_requests for c in build.cores)
+    assert len(build.memory.store) > 0
+
+
+def test_decomposed_matches_sequential_semantics():
+    """The paper's validation: strict-sync == fast for every core trace."""
+    assert validate_against_sequential(n_cores=3, sim_time_ps=40 * US)
+
+
+def test_traces_insensitive_to_mode_with_contention():
+    fast = run_traces(5, 40 * US, "fast", seed=9)
+    strict = run_traces(5, 40 * US, "strict", seed=9)
+    assert fast == strict
+
+
+@pytest.mark.slow
+def test_parallel_speedup_grows_with_cores():
+    t2 = measure_multicore(2, sim_time_ps=100 * US)
+    t8 = measure_multicore(8, sim_time_ps=100 * US)
+    assert 1.4 < t2.speedup <= 2.05
+    assert t8.speedup > 3.0
+    # sequential time grows roughly linearly with core count
+    assert t8.sequential_wall_s > 3 * t2.sequential_wall_s
+
+
+@pytest.mark.slow
+def test_parallel_time_grows_sublinearly():
+    t8 = measure_multicore(8, sim_time_ps=100 * US)
+    t16 = measure_multicore(16, sim_time_ps=100 * US)
+    assert t16.parallel_wall_s < 1.8 * t8.parallel_wall_s
+
+
+def test_coherence_invalidations_flow():
+    """Shared-region writes invalidate other cores' cached lines."""
+    build = build_multicore(4, seed=2)
+    build.sim.run(150 * US)
+    sent = build.memory.invalidations_sent
+    received = sum(c.invalidations_received for c in build.cores)
+    assert sent > 0
+    assert sent == received
+    # directory never lists more sharers than cores
+    assert all(len(s) <= 4 for s in build.memory._sharers.values())
+
+
+def test_private_regions_not_tracked():
+    build = build_multicore(2, seed=2)
+    build.sim.run(50 * US)
+    assert all(addr < (1 << 24) for addr in build.memory._sharers)

@@ -1,0 +1,133 @@
+"""Tests for the in-network processing pipelines: NetCache and Pegasus."""
+
+import pytest
+
+from repro.kernel.simtime import MS, US
+from repro.netsim.apps.kv import KVClientApp, KVServerApp
+from repro.netsim.apps.kvproto import SERVED_BY_SWITCH
+from repro.netsim.inp.netcache import NetCachePipeline
+from repro.netsim.inp.pegasus import PegasusPipeline
+from repro.netsim.topology import instantiate, single_switch_rack
+from repro.parallel.simulation import Simulation
+
+
+def build_kv(pipeline_kind, servers=2, write_frac=0.5, window=8,
+             until=5 * MS, **pipe_kw):
+    spec = single_switch_rack(servers=servers, clients=2)
+    addrs = [spec.addr_of(f"server{i}") for i in range(servers)]
+    if pipeline_kind == "netcache":
+        spec.switches["tor"].pipeline_factory = \
+            lambda sw: NetCachePipeline(sw, **pipe_kw)
+    elif pipeline_kind == "pegasus":
+        spec.switches["tor"].pipeline_factory = \
+            lambda sw: PegasusPipeline(sw, addrs)
+    for i in range(servers):
+        spec.on_host(f"server{i}", lambda h: KVServerApp())
+    for i in range(2):
+        spec.on_host(f"client{i}", lambda h: KVClientApp(
+            addrs, closed_loop_window=window, write_frac=write_frac))
+    build = instantiate(spec)
+    sim = Simulation(mode="fast")
+    sim.add(build.net)
+    sim.run(until)
+    pipe = build.net.nodes["tor"].pipeline
+    clients = [build.host(f"client{i}").apps[0] for i in range(2)]
+    servers_ = [build.host(f"server{i}").apps[0] for i in range(servers)]
+    return pipe, clients, servers_
+
+
+# -- NetCache ---------------------------------------------------------------
+
+def test_netcache_serves_hot_reads_from_switch():
+    pipe, clients, servers = build_kv("netcache", write_frac=0.0)
+    assert pipe.hits > 0
+    assert len(pipe.cache) > 0
+    # switch hits mean servers saw fewer reads than clients completed
+    total_reads = sum(c.stats.completed_reads for c in clients)
+    server_reads = sum(s.served_reads for s in servers)
+    assert server_reads < total_reads
+
+
+def test_netcache_admission_requires_hotness():
+    pipe, _, _ = build_kv("netcache", write_frac=0.0, hot_threshold=10**9)
+    assert len(pipe.cache) == 0
+    assert pipe.hits == 0
+
+
+def test_netcache_cache_respects_capacity():
+    pipe, _, _ = build_kv("netcache", write_frac=0.0, cache_slots=4,
+                          hot_threshold=1)
+    assert len(pipe.cache) <= 4
+
+
+def test_netcache_write_leader_concentrates_writes():
+    pipe, clients, servers = build_kv(
+        "netcache", write_frac=1.0,
+        write_leader=None)
+    balanced = [s.served_writes for s in servers]
+    pipe2, clients2, servers2 = build_kv(
+        "netcache", write_frac=1.0,
+        write_leader=servers[0].host.addr)
+    concentrated = [s.served_writes for s in servers2]
+    assert concentrated[1] == 0
+    assert balanced[1] > 0
+
+
+def test_netcache_invalidate_on_write_lowers_hits():
+    pipe_keep, _, _ = build_kv("netcache", write_frac=0.7,
+                               invalidate_on_write=False)
+    pipe_inv, _, _ = build_kv("netcache", write_frac=0.7,
+                              invalidate_on_write=True)
+    assert pipe_inv.hits < pipe_keep.hits
+    assert pipe_inv.invalidations > 0
+
+
+def test_netcache_switch_replies_marked():
+    spec = single_switch_rack(servers=1, clients=1)
+    addr = [spec.addr_of("server0")]
+    spec.switches["tor"].pipeline_factory = \
+        lambda sw: NetCachePipeline(sw, hot_threshold=1)
+    spec.on_host("server0", lambda h: KVServerApp())
+    served_by = []
+
+    class Probe(KVClientApp):
+        def _on_reply(self, pkt):
+            served_by.append(pkt.payload.served_by)
+            super()._on_reply(pkt)
+
+    spec.on_host("client0", lambda h: Probe(addr, closed_loop_window=4,
+                                            write_frac=0.0))
+    build = instantiate(spec)
+    sim = Simulation(mode="fast")
+    sim.add(build.net)
+    sim.run(3 * MS)
+    assert SERVED_BY_SWITCH in served_by
+
+
+# -- Pegasus ------------------------------------------------------------------
+
+def test_pegasus_balances_writes():
+    pipe, clients, servers = build_kv("pegasus", write_frac=1.0)
+    writes = [s.served_writes for s in servers]
+    assert min(writes) > 0.6 * max(writes)
+    assert pipe.redirected_writes > 0
+
+
+def test_pegasus_reads_follow_directory():
+    pipe, clients, servers = build_kv("pegasus", write_frac=0.5)
+    # every key in the directory points at exactly one owner (last writer)
+    for key, replicas in pipe.directory.items():
+        assert len(replicas) == 1
+        assert next(iter(replicas)) in [s.host.addr for s in servers]
+
+
+def test_pegasus_load_counters_return_to_zero():
+    pipe, clients, _ = build_kv("pegasus", window=2, until=8 * MS)
+    outstanding = sum(len(c._outstanding) for c in clients)
+    total_load = sum(pipe.load.values())
+    assert total_load <= outstanding + 2
+
+
+def test_pegasus_requires_servers():
+    with pytest.raises(ValueError):
+        PegasusPipeline(None, [])

@@ -1,0 +1,101 @@
+"""Integration tests reproducing the case studies' qualitative claims.
+
+These are scaled-down versions of the benchmark experiments; each asserts
+the *shape* the paper reports (who wins, which effects appear), not exact
+numbers.  Paper-scale runs live in ``benchmarks/``.
+"""
+
+import pytest
+
+from repro.kernel.simtime import MS, US
+from repro.netsim.apps.kv import KVClientApp, KVServerApp
+from repro.netsim.inp.netcache import NetCachePipeline
+from repro.netsim.inp.pegasus import PegasusPipeline
+from repro.netsim.topology import single_switch_rack
+from repro.orchestration.instantiate import Instantiation
+from repro.orchestration.system import System
+
+SERVERS = 2
+CLIENTS = 3
+WINDOW = 16
+RUN = 12 * MS
+SETTLE = 4 * MS
+
+
+def kv_case(inp: str, fidelity: str):
+    """fidelity: 'protocol' (all ns-3) or 'e2e' (detailed servers)."""
+    spec = single_switch_rack(servers=SERVERS, clients=CLIENTS,
+                              external_servers=(fidelity == "e2e"))
+    addrs = [spec.addr_of(f"server{i}") for i in range(SERVERS)]
+    if inp == "netcache":
+        spec.switches["tor"].pipeline_factory = \
+            lambda sw: NetCachePipeline(sw, write_leader=addrs[0])
+    else:
+        spec.switches["tor"].pipeline_factory = \
+            lambda sw: PegasusPipeline(sw, addrs)
+    system = System.from_topospec(spec, seed=21)
+    for i in range(SERVERS):
+        system.app(f"server{i}", lambda h: KVServerApp())
+    for i in range(CLIENTS):
+        system.app(f"client{i}", lambda h: KVClientApp(
+            addrs, closed_loop_window=WINDOW))
+    exp = Instantiation(system).build()
+    exp.run(RUN)
+    tput = sum(exp.app(f"client{i}").stats.throughput_rps(SETTLE, RUN)
+               for i in range(CLIENTS))
+    lats = []
+    for i in range(CLIENTS):
+        lats += exp.app(f"client{i}").stats.latency_values(SETTLE)
+    mean_lat = sum(lats) / len(lats)
+    return tput, mean_lat, exp
+
+
+@pytest.fixture(scope="module")
+def fig4_results():
+    out = {}
+    for inp in ("netcache", "pegasus"):
+        for fidelity in ("protocol", "e2e"):
+            tput, lat, _ = kv_case(inp, fidelity)
+            out[(inp, fidelity)] = (tput, lat)
+    return out
+
+
+@pytest.mark.slow
+def test_protocol_level_favors_netcache(fig4_results):
+    nc, _ = fig4_results[("netcache", "protocol")]
+    pg, _ = fig4_results[("pegasus", "protocol")]
+    assert nc > 1.05 * pg
+
+
+@pytest.mark.slow
+def test_e2e_flips_winner_to_pegasus(fig4_results):
+    nc, _ = fig4_results[("netcache", "e2e")]
+    pg, _ = fig4_results[("pegasus", "e2e")]
+    assert pg > 1.2 * nc
+
+
+@pytest.mark.slow
+def test_e2e_latency_orders_of_magnitude_above_protocol(fig4_results):
+    _, lat_proto = fig4_results[("pegasus", "protocol")]
+    _, lat_e2e = fig4_results[("pegasus", "e2e")]
+    assert lat_proto < 20 * US
+    assert lat_e2e > 20 * lat_proto
+
+
+@pytest.mark.slow
+def test_mixed_fidelity_matches_e2e_winner():
+    """Detailed servers + protocol clients (the paper's mixed config) —
+    here identical to our e2e config since clients were protocol-level
+    already; instead verify the server-bottleneck signature: one saturated
+    server under NetCache, both under Pegasus."""
+    _, _, exp_nc = kv_case("netcache", "e2e")
+    _, _, exp_pg = kv_case("pegasus", "e2e")
+    sim_ps = RUN
+
+    def utils(exp):
+        return sorted(h.os.cpu_busy_ps / sim_ps for h in exp.hosts.values())
+
+    nc_utils = utils(exp_nc)
+    pg_utils = utils(exp_pg)
+    assert nc_utils[0] < 0.5 < nc_utils[-1]      # imbalance under NetCache
+    assert all(u > 0.8 for u in pg_utils)        # both busy under Pegasus

@@ -1,0 +1,116 @@
+"""Tests for the protocol-level KV server/client applications."""
+
+import pytest
+
+from repro.kernel.simtime import MS, SEC, US
+from repro.netsim.apps.kv import KVClientApp, KVServerApp, KVStats
+from repro.netsim.apps.kvproto import OP_READ, OP_WRITE, home_server
+from repro.netsim.topology import instantiate, single_switch_rack
+from repro.parallel.simulation import Simulation
+
+
+def build_rack(servers=2, clients=1, **client_kw):
+    spec = single_switch_rack(servers=servers, clients=clients)
+    addrs = [spec.addr_of(f"server{i}") for i in range(servers)]
+    for i in range(servers):
+        spec.on_host(f"server{i}", lambda h: KVServerApp())
+    for i in range(clients):
+        kw = dict(client_kw)
+        spec.on_host(f"client{i}",
+                     lambda h, kw=kw: KVClientApp(addrs, **kw))
+    build = instantiate(spec)
+    sim = Simulation(mode="fast")
+    sim.add(build.net)
+    return spec, build, sim
+
+
+def test_home_server_is_stable_partition():
+    addrs = [10, 20, 30]
+    for key in range(50):
+        assert home_server(key, addrs) == addrs[key % 3]
+
+
+def test_closed_loop_completes_requests():
+    spec, build, sim = build_rack(clients=1, closed_loop_window=8)
+    sim.run(5 * MS)
+    client = build.host("client0").apps[0]
+    assert client.stats.completed > 100
+    assert client.stats.completed_reads + client.stats.completed_writes == \
+        client.stats.completed
+
+
+def test_closed_loop_bounds_outstanding():
+    spec, build, sim = build_rack(clients=1, closed_loop_window=8)
+    sim.run(5 * MS)
+    client = build.host("client0").apps[0]
+    assert len(client._outstanding) <= 8
+    assert client.stats.sent - client.stats.completed <= 8
+
+
+def test_open_loop_rate_approximately_honored():
+    spec, build, sim = build_rack(clients=1, rate_rps=100_000.0)
+    sim.run(20 * MS)
+    client = build.host("client0").apps[0]
+    rate = client.stats.throughput_rps(5 * MS, 20 * MS)
+    assert 60_000 < rate < 140_000
+
+
+def test_client_requires_rate_or_window():
+    with pytest.raises(ValueError):
+        KVClientApp([1])
+
+
+def test_stop_after_limits_requests():
+    spec, build, sim = build_rack(clients=1, closed_loop_window=4,
+                                  stop_after=20)
+    sim.run(20 * MS)
+    client = build.host("client0").apps[0]
+    assert client.stats.sent == 20
+    assert client.stats.completed == 20
+
+
+def test_latency_samples_are_positive_and_bounded():
+    spec, build, sim = build_rack(clients=1, closed_loop_window=4)
+    sim.run(5 * MS)
+    stats = build.host("client0").apps[0].stats
+    vals = stats.latency_values()
+    assert vals and all(0 < v < 1 * MS for v in vals)
+
+
+def test_server_store_and_counters():
+    spec, build, sim = build_rack(clients=1, closed_loop_window=4,
+                                  write_frac=1.0)
+    sim.run(3 * MS)
+    servers = [build.host(f"server{i}").apps[0] for i in range(2)]
+    total_writes = sum(s.served_writes for s in servers)
+    assert total_writes > 0
+    assert all(s.served_reads == 0 for s in servers)
+    assert sum(len(s.store) for s in servers) > 0
+
+
+def test_stats_percentile_and_mean():
+    stats = KVStats()
+    for i, lat in enumerate([100, 200, 300, 400, 500]):
+        stats.record(now=i * US, latency_ps=lat, op=OP_READ)
+    assert stats.mean_latency() == 300
+    assert stats.percentile(0) == 100
+    assert stats.percentile(99) == 500
+    assert stats.percentile(50, op=OP_WRITE) == 0  # no writes recorded
+
+
+def test_stats_throughput_window():
+    stats = KVStats()
+    for i in range(10):
+        stats.record(now=i * MS, latency_ps=10, op=OP_READ)
+    # 5 completions in [0, 5ms)
+    assert stats.throughput_rps(0, 5 * MS) == pytest.approx(5 * SEC / (5 * MS))
+
+
+def test_zipf_skew_hits_home_servers_unevenly():
+    spec, build, sim = build_rack(clients=1, closed_loop_window=8,
+                                  zipf_theta=1.8, write_frac=0.0)
+    sim.run(5 * MS)
+    servers = [build.host(f"server{i}").apps[0] for i in range(2)]
+    reads = [s.served_reads for s in servers]
+    # key 0 (the hot key) homes on server0: heavy skew expected
+    assert reads[0] > 1.3 * reads[1]

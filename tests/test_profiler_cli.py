@@ -1,0 +1,52 @@
+"""Tests for the splitsim-profile command-line post-processor."""
+
+import pytest
+
+from repro.profiler.cli import main
+from repro.profiler.records import AdapterRecord, ProfileLog
+
+
+def write_log(path, comp="net", peer="host", n=4):
+    log = ProfileLog()
+    for i in range(n):
+        log.append(AdapterRecord(
+            comp=comp, adapter=f"{comp}.e", peer=peer,
+            tsc_ns=i * 1e9, sim_ps=i * 10**10,
+            wait_cycles=i * 100.0, work_cycles=i * 5e6))
+    log.save(path)
+    return path
+
+
+def test_cli_prints_analysis(tmp_path, capsys):
+    path = write_log(tmp_path / "a.jsonl")
+    assert main([str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "sim speed" in out
+    assert "wait-time profile" in out
+    assert "likely bottlenecks" in out
+
+
+def test_cli_merges_multiple_logs(tmp_path, capsys):
+    p1 = write_log(tmp_path / "a.jsonl", comp="net")
+    p2 = write_log(tmp_path / "b.jsonl", comp="host", peer="net")
+    assert main([str(p1), str(p2)]) == 0
+    out = capsys.readouterr().out
+    assert "net" in out and "host" in out
+
+
+def test_cli_writes_dot(tmp_path):
+    path = write_log(tmp_path / "a.jsonl")
+    dot = tmp_path / "g.dot"
+    assert main([str(path), "--dot", str(dot)]) == 0
+    assert dot.read_text().startswith("digraph wtpg")
+
+
+def test_cli_missing_file_errors(tmp_path, capsys):
+    assert main([str(tmp_path / "missing.jsonl")]) == 1
+    assert "error reading" in capsys.readouterr().err
+
+
+def test_cli_empty_log_errors(tmp_path, capsys):
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    assert main([str(empty)]) == 1

@@ -1,0 +1,62 @@
+"""Tests for the RED queue discipline."""
+
+import random
+
+import pytest
+
+from repro.netsim.packet import Packet
+from repro.netsim.queues import RedQueue
+
+
+def mk(ect=True):
+    return Packet(src=1, dst=2, size_bytes=200, ect=ect)
+
+
+def test_red_validates_thresholds():
+    with pytest.raises(ValueError):
+        RedQueue(min_th=10, max_th=5)
+
+
+def test_no_action_below_min_threshold():
+    q = RedQueue(min_th=5, max_th=15)
+    for _ in range(4):
+        assert q.enqueue(mk())
+    assert q.red_marked == 0 and q.red_dropped == 0
+
+
+def test_marks_between_thresholds():
+    q = RedQueue(min_th=2, max_th=6, max_p=1.0, weight=1.0,
+                 rng=random.Random(1))
+    outcomes = [q.enqueue(mk()) for _ in range(50)]
+    assert q.red_marked > 0
+    assert all(outcomes)  # ECN-capable packets are marked, not dropped
+
+
+def test_drops_non_ect_packets():
+    q = RedQueue(min_th=2, max_th=6, max_p=1.0, weight=1.0,
+                 rng=random.Random(1))
+    for _ in range(10):
+        q.enqueue(mk())
+    dropped_any = False
+    for _ in range(30):
+        if not q.enqueue(mk(ect=False)):
+            dropped_any = True
+    assert dropped_any
+    assert q.red_dropped > 0
+
+
+def test_hard_action_above_max_threshold():
+    q = RedQueue(min_th=1, max_th=3, max_p=0.5, weight=1.0)
+    for _ in range(10):
+        q.enqueue(mk())
+    # avg is now far above max_th: every ECT packet must be marked
+    p = mk()
+    q.enqueue(p)
+    assert p.ce
+
+
+def test_ewma_tracks_queue_slowly():
+    q = RedQueue(min_th=5, max_th=15, weight=1.0 / 512.0)
+    for _ in range(20):
+        q.enqueue(mk())
+    assert q.avg < 1.0  # slow EWMA lags far behind instantaneous depth

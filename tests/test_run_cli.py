@@ -1,0 +1,108 @@
+"""Tests for the splitsim-run configuration-script CLI."""
+
+import json
+
+import pytest
+
+from repro.kernel.simtime import MS, US, parse_time
+from repro.tools.run_cli import main
+
+CONFIG = '''
+from repro import System
+from repro.netsim.apps.kv import KVClientApp, KVServerApp
+
+DURATION = "2ms"
+GBPS = 1e9
+
+
+def build():
+    system = System(seed=3)
+    system.switch("tor")
+    system.host("server", simulator="qemu")
+    system.host("client")
+    system.link("server", "tor", 10 * GBPS, 1_000_000)
+    system.link("client", "tor", 10 * GBPS, 1_000_000)
+    system.app("server", lambda h: KVServerApp())
+    addr = system.addr_of("server")
+    system.app("client", lambda h: KVClientApp([addr], closed_loop_window=4))
+    return system
+'''
+
+
+def write_config(tmp_path, text=CONFIG):
+    path = tmp_path / "config.py"
+    path.write_text(text)
+    return str(path)
+
+
+# -- parse_time ----------------------------------------------------------------
+
+def test_parse_time_units():
+    assert parse_time("10ms") == 10 * MS
+    assert parse_time("1.5us") == 1_500_000
+    assert parse_time("2s") == 2 * 10**12
+    assert parse_time(" 7ns ") == 7_000
+
+
+def test_parse_time_rejects_garbage():
+    with pytest.raises(ValueError):
+        parse_time("10")
+    with pytest.raises(ValueError):
+        parse_time("xyzms")
+
+
+# -- CLI -----------------------------------------------------------------------
+
+def test_cli_runs_config(tmp_path, capsys):
+    path = write_config(tmp_path)
+    assert main([path]) == 0
+    out = capsys.readouterr().out
+    assert "running 3 component simulators" in out
+    assert "client.app0" in out
+    assert "'completed':" in out
+
+
+def test_cli_duration_override(tmp_path, capsys):
+    path = write_config(tmp_path)
+    assert main([path, "--duration", "1ms"]) == 0
+    assert "for 1ms" in capsys.readouterr().out
+
+
+def test_cli_profile_flag(tmp_path, capsys):
+    path = write_config(tmp_path)
+    assert main([path, "--profile", "--duration", "1ms"]) == 0
+    out = capsys.readouterr().out
+    assert "sim speed" in out
+    assert "wait-time profile" in out
+
+
+def test_cli_json_output(tmp_path):
+    path = write_config(tmp_path)
+    out_json = tmp_path / "out.json"
+    assert main([path, "--json", str(out_json)]) == 0
+    data = json.loads(out_json.read_text())
+    assert data["events"] > 0
+    assert data["apps"]["client.app0"]["completed"] > 0
+
+
+def test_cli_missing_config_errors(tmp_path, capsys):
+    assert main([str(tmp_path / "nope.py")]) == 1
+    assert "error" in capsys.readouterr().err
+
+
+def test_cli_config_without_build_errors(tmp_path, capsys):
+    path = write_config(tmp_path, "x = 1\n")
+    assert main([path]) == 1
+    assert "must define build()" in capsys.readouterr().err
+
+
+def test_cli_build_must_return_system(tmp_path, capsys):
+    path = write_config(tmp_path, "def build():\n    return 42\n")
+    assert main([path]) == 1
+    assert "must return" in capsys.readouterr().err
+
+
+def test_cli_unknown_partition_errors(tmp_path, capsys):
+    path = write_config(tmp_path)
+    assert main([path, "--partition", "magic"]) == 1
+    assert "unknown partition" in capsys.readouterr().err

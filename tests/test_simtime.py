@@ -1,0 +1,55 @@
+"""Unit tests for simulated-time helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.kernel.simtime import (MS, NS, PS, SEC, TIME_INFINITY, US,
+                                  bits_time, fmt_time, from_seconds, seconds)
+
+
+def test_unit_ratios():
+    assert NS == 1000 * PS
+    assert US == 1000 * NS
+    assert MS == 1000 * US
+    assert SEC == 1000 * MS
+
+
+def test_fmt_time_basic():
+    assert fmt_time(0) == "0ps"
+    assert fmt_time(1500 * NS) == "1.5us"
+    assert fmt_time(2 * SEC) == "2s"
+    assert fmt_time(TIME_INFINITY) == "inf"
+    assert fmt_time(42) == "42ps"
+
+
+def test_seconds_roundtrip():
+    assert seconds(SEC) == 1.0
+    assert from_seconds(0.25) == 250 * MS
+
+
+def test_bits_time_exact():
+    # 8000 bits at 1 Gbps = 8 us
+    assert bits_time(8000, 1e9) == 8 * US
+
+
+def test_bits_time_rounds_up():
+    # 1 bit at 3 bps: 1/3 s must round UP (links never faster than rated)
+    assert bits_time(1, 3) * 3 >= SEC
+
+
+def test_bits_time_rejects_nonpositive_bandwidth():
+    with pytest.raises(ValueError):
+        bits_time(100, 0)
+
+
+@given(st.integers(min_value=1, max_value=10**9),
+       st.integers(min_value=1, max_value=10**12))
+def test_bits_time_never_underestimates(nbits, bw):
+    t = bits_time(nbits, bw)
+    assert t * bw >= nbits * SEC
+
+
+@given(st.integers(min_value=0, max_value=TIME_INFINITY - 1))
+def test_fmt_time_total(ps):
+    # formatting never raises and always returns a non-empty string
+    assert fmt_time(ps)

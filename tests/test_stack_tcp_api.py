@@ -1,0 +1,109 @@
+"""Coverage for the Stack's TCP listener/connection management."""
+
+import pytest
+
+from repro.kernel.simtime import MS, US
+from repro.netsim.network import NetworkSim
+from repro.parallel.simulation import Simulation
+
+
+def two_hosts():
+    net = NetworkSim("n")
+    a = net.add_host("a", addr=1)
+    b = net.add_host("b", addr=2)
+    net.add_link(a, b, 10e9, 1 * US)
+    return net, a, b
+
+
+def run(net, until=50 * MS):
+    sim = Simulation(mode="fast")
+    sim.add(net)
+    sim.run(until)
+
+
+def test_double_listen_rejected():
+    net, a, _ = two_hosts()
+    a.stack.tcp_listen(80, lambda c: None)
+    with pytest.raises(ValueError):
+        a.stack.tcp_listen(80, lambda c: None)
+
+
+def test_accept_callback_gets_connection():
+    net, a, b = two_hosts()
+    accepted = []
+    b.stack.tcp_listen(80, accepted.append)
+    net.schedule(0, lambda: a.stack.tcp_connect(2, 80))
+    run(net)
+    assert len(accepted) == 1
+    conn = accepted[0]
+    assert conn.peer == 1
+    assert conn.state in ("established", "syn_rcvd")
+
+
+def test_connect_to_closed_port_counts_unmatched():
+    net, a, b = two_hosts()
+    net.schedule(0, lambda: a.stack.tcp_connect(2, 81))
+    run(net, until=5 * MS)
+    assert b.stack.rx_no_handler > 0
+
+
+def test_multiple_connections_same_listener():
+    net, a, b = two_hosts()
+    accepted = []
+    b.stack.tcp_listen(80, accepted.append)
+
+    def connect_twice():
+        a.stack.tcp_connect(2, 80)
+        a.stack.tcp_connect(2, 80)
+
+    net.schedule(0, connect_twice)
+    run(net)
+    assert len(accepted) == 2
+    ports = {c.peer_port for c in accepted}
+    assert len(ports) == 2  # distinct ephemeral client ports
+
+
+def test_on_connected_callback_fires():
+    net, a, b = two_hosts()
+    b.stack.tcp_listen(80, lambda c: None)
+    established = []
+    net.schedule(0, lambda: a.stack.tcp_connect(
+        2, 80, on_connected=established.append))
+    run(net)
+    assert len(established) == 1
+    assert established[0].state == "established"
+
+
+def test_data_flows_both_ways():
+    net, a, b = two_hosts()
+    got_at_b = []
+    got_at_a = []
+
+    def on_conn(conn):
+        conn.on_delivered = got_at_b.append
+        conn.send(5_000)  # server pushes data back
+
+    b.stack.tcp_listen(80, on_conn)
+
+    def connect():
+        conn = a.stack.tcp_connect(
+            2, 80, on_connected=lambda c: c.send(10_000))
+        conn.on_delivered = got_at_a.append
+
+    net.schedule(0, connect)
+    run(net)
+    assert got_at_b and got_at_b[-1] == 10_000
+    assert got_at_a and got_at_a[-1] == 5_000
+
+
+def test_close_conn_removes_from_table():
+    net, a, b = two_hosts()
+    b.stack.tcp_listen(80, lambda c: None)
+    conns = []
+    net.schedule(0, lambda: conns.append(a.stack.tcp_connect(2, 80)))
+    run(net, until=5 * MS)
+    conn = conns[0]
+    key = (conn.peer, conn.peer_port, conn.local_port)
+    assert key in a.stack._tcp
+    a.stack.close_conn(conn)
+    assert key not in a.stack._tcp

@@ -1,0 +1,112 @@
+"""Tests for TCP (NewReno) and DCTCP behaviour."""
+
+import pytest
+
+from repro.kernel.simtime import MS, US
+from repro.netsim.apps.bulk import BulkSender, BulkSink
+from repro.netsim.topology import dumbbell, instantiate
+from repro.parallel.simulation import Simulation
+
+
+def run_bulk(total_bytes=500_000, variant="newreno", pairs=1,
+             bottleneck_bw=10e9, queue_bytes=512 * 1024,
+             ecn_threshold=None, until=100 * MS):
+    spec = dumbbell(pairs=pairs, bottleneck_bw=bottleneck_bw,
+                    ecn_threshold_pkts=ecn_threshold)
+    for link in spec.links:
+        link.queue_capacity_bytes = queue_bytes
+    senders = []
+    for i in range(pairs):
+        spec.on_host(f"rcv{i}", lambda h: BulkSink(port=5001, variant=variant))
+        dst = spec.addr_of(f"rcv{i}")
+        spec.on_host(f"snd{i}", lambda h, d=dst: BulkSender(
+            d, 5001, total_bytes=total_bytes, variant=variant))
+    build = instantiate(spec)
+    sim = Simulation(mode="fast")
+    sim.add(build.net)
+    sim.run(until)
+    sinks = [build.host(f"rcv{i}").apps[0] for i in range(pairs)]
+    conns = [build.host(f"snd{i}").apps[0].conn for i in range(pairs)]
+    return build, sinks, conns
+
+
+def test_handshake_and_complete_delivery():
+    _, sinks, conns = run_bulk(total_bytes=300_000)
+    assert sinks[0].delivered == 300_000
+    assert conns[0].state in ("fin_wait", "established")
+    assert conns[0].snd_una == 300_000
+
+
+def test_delivery_survives_losses():
+    """A tiny bottleneck queue forces drops; TCP must still deliver all."""
+    _, sinks, conns = run_bulk(total_bytes=400_000, bottleneck_bw=1e9,
+                               queue_bytes=20_000, until=400 * MS)
+    assert sinks[0].delivered == 400_000
+    assert conns[0].retransmits > 0
+
+
+def test_in_order_delivery_is_cumulative():
+    build, sinks, _ = run_bulk(total_bytes=200_000)
+    deliveries = [d for _, d in sinks[0].samples]
+    assert deliveries == sorted(deliveries)
+
+
+def test_two_flows_share_bottleneck():
+    _, sinks, _ = run_bulk(total_bytes=None, pairs=2, ecn_threshold=65,
+                           variant="dctcp", until=40 * MS)
+    tput = [s.goodput_bps(10 * MS, 40 * MS) for s in sinks]
+    total = sum(tput)
+    assert 6e9 < total < 10.5e9
+    # rough fairness: neither flow starves
+    assert min(tput) > 0.2 * max(tput)
+
+
+def test_dctcp_marks_and_reduces_cwnd():
+    build, sinks, conns = run_bulk(total_bytes=None, pairs=2,
+                                   ecn_threshold=20, variant="dctcp",
+                                   until=30 * MS)
+    bottleneck = [l for l in build.net.links
+                  if l.port_a.node.name.startswith("sw")
+                  and l.port_b.node.name.startswith("sw")]
+    marked = sum(l.dir_ab.queue.stats.ecn_marked +
+                 l.dir_ba.queue.stats.ecn_marked for l in bottleneck)
+    assert marked > 0
+    assert any(0 < c.dctcp_alpha <= 1 for c in conns)
+
+
+def test_dctcp_keeps_queue_short():
+    """DCTCP's raison d'etre: small marking threshold -> short queues."""
+    build_small, _, _ = run_bulk(total_bytes=None, pairs=2, ecn_threshold=10,
+                                 variant="dctcp", until=30 * MS)
+    build_none, _, _ = run_bulk(total_bytes=None, pairs=2, ecn_threshold=None,
+                                variant="newreno", until=30 * MS)
+
+    def max_bottleneck_depth(build):
+        links = [l for l in build.net.links
+                 if l.port_a.node.name.startswith("sw")
+                 and l.port_b.node.name.startswith("sw")]
+        return max(l.dir_ab.queue.stats.max_depth_pkts for l in links)
+
+    assert max_bottleneck_depth(build_small) < max_bottleneck_depth(build_none)
+
+
+def test_rtt_estimate_reasonable():
+    _, _, conns = run_bulk(total_bytes=100_000)
+    conn = conns[0]
+    assert conn.srtt is not None
+    # path: 2x(1us edge + 2us bottleneck + switch delays) ~ 10us; with
+    # queueing it can grow but must stay far below the initial 10ms RTO
+    assert conn.srtt < 5 * MS
+
+
+def test_unknown_variant_rejected():
+    from repro.netsim.transport.tcp import TcpConnection
+    with pytest.raises(ValueError):
+        TcpConnection(stack=None, local_port=1, peer=2, peer_port=3,
+                      variant="vegas")
+
+
+def test_send_rejects_nonpositive():
+    _, _, conns = run_bulk(total_bytes=10_000)
+    with pytest.raises(ValueError):
+        conns[0].send(0)

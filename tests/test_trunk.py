@@ -1,0 +1,93 @@
+"""Tests for trunk channels (multiplexed sub-links)."""
+
+import pytest
+
+from repro.channels.channel import connect
+from repro.channels.messages import RawMsg, TrunkMsg
+from repro.channels.trunk import TrunkEnd
+from repro.kernel.simtime import NS
+
+
+def make_trunks():
+    a = TrunkEnd("ta", latency=10 * NS)
+    b = TrunkEnd("tb", latency=10 * NS)
+    connect(a, b)
+    return a, b
+
+
+def test_mux_demux_roundtrip():
+    a, b = make_trunks()
+    got = {0: [], 1: []}
+    b.port(0).on_receive(lambda m: got[0].append(m.payload))
+    b.port(1).on_receive(lambda m: got[1].append(m.payload))
+    pa0, pa1 = a.port(0), a.port(1)
+
+    pa0.send(RawMsg(payload="x"), now=0)
+    pa1.send(RawMsg(payload="y"), now=5)
+    pa0.send(RawMsg(payload="z"), now=7)
+    for msg in b.poll():
+        b.dispatch(msg)
+    assert got == {0: ["x", "z"], 1: ["y"]}
+
+
+def test_inner_stamp_follows_trunk_stamp():
+    a, b = make_trunks()
+    seen = []
+    b.port(3).on_receive(lambda m: seen.append(m.stamp))
+    a.port(3).send(RawMsg(), now=100 * NS)
+    for msg in b.poll():
+        b.dispatch(msg)
+    assert seen == [110 * NS]
+
+
+def test_single_sync_covers_all_ports():
+    """The whole point of trunking: one sync stream for N logical links."""
+    a, b = make_trunks()
+    for i in range(8):
+        a.port(i)
+    a.maybe_sync(commit=50 * NS)
+    assert a.tx_syncs == 1
+    list(b.poll())
+    assert b.horizon() == 60 * NS
+
+
+def test_unknown_subchannel_raises():
+    a, b = make_trunks()
+    a.port(0).send(RawMsg(), now=0)
+    with pytest.raises(RuntimeError):
+        for msg in b.poll():
+            b.dispatch(msg)
+
+
+def test_missing_handler_raises():
+    a, b = make_trunks()
+    b.port(0)  # allocated but no handler
+    a.port(0).send(RawMsg(), now=0)
+    with pytest.raises(RuntimeError):
+        for msg in b.poll():
+            b.dispatch(msg)
+
+
+def test_dispatch_rejects_non_trunk_messages():
+    a, _ = make_trunks()
+    with pytest.raises(TypeError):
+        a.dispatch(RawMsg())
+
+
+def test_port_reuse_and_counts():
+    a, b = make_trunks()
+    assert a.port(2) is a.port(2)
+    b.port(2).on_receive(lambda m: None)
+    a.port(2).send(RawMsg(), now=0)
+    a.port(2).send(RawMsg(), now=1)
+    for msg in b.poll():
+        b.dispatch(msg)
+    assert a.port(2).tx_msgs == 2
+    assert b.port(2).rx_msgs == 2
+    assert a.num_ports == 1 or a.num_ports >= 1  # port(2) only on this side
+
+
+def test_trunk_wire_size_includes_inner():
+    inner = RawMsg(payload="abc")
+    tm = TrunkMsg(subchannel=1, inner=inner)
+    assert tm.wire_size() >= inner.wire_size()

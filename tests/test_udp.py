@@ -1,0 +1,116 @@
+"""Tests for the UDP socket layer and stack demultiplexing."""
+
+import pytest
+
+from repro.kernel.simtime import MS, US
+from repro.netsim.network import NetworkSim
+from repro.netsim.packet import HEADER_BYTES
+from repro.parallel.simulation import Simulation
+
+
+def two_hosts():
+    net = NetworkSim("n")
+    a = net.add_host("a", addr=1)
+    b = net.add_host("b", addr=2)
+    net.add_link(a, b, 10e9, 1 * US)
+    return net, a, b
+
+
+def run(net, until=10 * MS):
+    sim = Simulation(mode="fast")
+    sim.add(net)
+    sim.run(until)
+
+
+def test_udp_roundtrip_payload():
+    net, a, b = two_hosts()
+    got = []
+    b.stack.udp_socket(9, lambda pkt: got.append(pkt.payload))
+    sock = a.stack.udp_socket(8)
+    net.schedule(0, lambda: sock.sendto(2, 9, 64, payload={"k": 1}))
+    run(net)
+    assert got == [{"k": 1}]
+
+
+def test_udp_frame_size_includes_headers():
+    net, a, b = two_hosts()
+    sizes = []
+    b.stack.udp_socket(9, lambda pkt: sizes.append(pkt.size_bytes))
+    sock = a.stack.udp_socket(8)
+    net.schedule(0, lambda: sock.sendto(2, 9, 1000))
+    run(net)
+    assert sizes == [1000 + HEADER_BYTES]
+
+
+def test_udp_port_demux():
+    net, a, b = two_hosts()
+    got9, got10 = [], []
+    b.stack.udp_socket(9, lambda pkt: got9.append(pkt.dst_port))
+    b.stack.udp_socket(10, lambda pkt: got10.append(pkt.dst_port))
+    sock = a.stack.udp_socket(8)
+
+    def send():
+        sock.sendto(2, 9, 64)
+        sock.sendto(2, 10, 64)
+        sock.sendto(2, 10, 64)
+
+    net.schedule(0, send)
+    run(net)
+    assert got9 == [9]
+    assert got10 == [10, 10]
+
+
+def test_udp_unbound_port_counts_no_handler():
+    net, a, b = two_hosts()
+    sock = a.stack.udp_socket(8)
+    net.schedule(0, lambda: sock.sendto(2, 999, 64))
+    run(net)
+    assert b.stack.rx_no_handler == 1
+
+
+def test_udp_double_bind_rejected():
+    net, a, _ = two_hosts()
+    a.stack.udp_socket(8)
+    with pytest.raises(ValueError):
+        a.stack.udp_socket(8)
+
+
+def test_udp_ephemeral_ports_unique():
+    net, a, _ = two_hosts()
+    s1 = a.stack.udp_socket(None)
+    s2 = a.stack.udp_socket(None)
+    assert s1.port != s2.port
+
+
+def test_udp_reply_to_source_port():
+    net, a, b = two_hosts()
+    echoes = []
+
+    def echo(pkt):
+        b.stack._udp[9].sendto(pkt.src, pkt.src_port, 64, payload="pong")
+
+    b.stack.udp_socket(9, echo)
+    sock = a.stack.udp_socket(None, lambda pkt: echoes.append(pkt.payload))
+    net.schedule(0, lambda: sock.sendto(2, 9, 64, payload="ping"))
+    run(net)
+    assert echoes == ["pong"]
+
+
+def test_udp_socket_close_unbinds():
+    net, a, b = two_hosts()
+    sock_b = b.stack.udp_socket(9, lambda pkt: None)
+    sock_b.close()
+    sock = a.stack.udp_socket(8)
+    net.schedule(0, lambda: sock.sendto(2, 9, 64))
+    run(net)
+    assert b.stack.rx_no_handler == 1
+
+
+def test_udp_counters():
+    net, a, b = two_hosts()
+    rx_sock = b.stack.udp_socket(9, lambda pkt: None)
+    sock = a.stack.udp_socket(8)
+    net.schedule(0, lambda: [sock.sendto(2, 9, 64) for _ in range(3)])
+    run(net)
+    assert sock.tx_dgrams == 3
+    assert rx_sock.rx_dgrams == 3
