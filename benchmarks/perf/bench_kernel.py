@@ -1,0 +1,13 @@
+#!/usr/bin/env python
+"""Kernel event-queue microbenchmark (wrapper for ``splitsim-bench kernel``).
+
+Typical use, from the repository root::
+
+    PYTHONPATH=src python benchmarks/perf/bench_kernel.py --out BENCH_kernel.json
+"""
+import sys
+
+from repro.bench.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main(["kernel", *sys.argv[1:]]))

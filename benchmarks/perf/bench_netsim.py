@@ -1,0 +1,13 @@
+#!/usr/bin/env python
+"""Packet-path microbenchmark (wrapper for ``splitsim-bench netsim``).
+
+Typical use, from the repository root::
+
+    PYTHONPATH=src python benchmarks/perf/bench_netsim.py --out BENCH_netsim.json
+"""
+import sys
+
+from repro.bench.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main(["netsim", *sys.argv[1:]]))

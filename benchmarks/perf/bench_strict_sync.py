@@ -1,0 +1,13 @@
+#!/usr/bin/env python
+"""Strict-sync protocol microbenchmark (wrapper for ``splitsim-bench strict``).
+
+Typical use, from the repository root::
+
+    PYTHONPATH=src python benchmarks/perf/bench_strict_sync.py --out BENCH_strict.json
+"""
+import sys
+
+from repro.bench.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main(["strict", *sys.argv[1:]]))

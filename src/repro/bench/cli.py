@@ -1,0 +1,175 @@
+"""``splitsim-bench``: run the hot-path microbenchmarks, emit JSON.
+
+Usage::
+
+    splitsim-bench kernel --out BENCH_kernel.json
+    splitsim-bench netsim --scale 0.25            # CI smoke scale
+    splitsim-bench all --compare baseline.json    # print speedups
+
+``--scale`` multiplies the simulated duration (not the topology), so a
+reduced-scale run exercises exactly the same code paths; ``--compare``
+loads a previously written document and reports per-workload speedups.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional
+
+from ..kernel.simtime import MS, US
+from .harness import (BenchResult, compare_docs, load_json, measure,
+                      results_doc, write_json)
+from .workloads import (build_cancel_churn, build_mixed_system,
+                        build_netsim_flood, build_strict_pingpong,
+                        build_timer_wheel, run_system)
+
+
+def _run_kernel(scale: float, repeat: int, trace_alloc: bool) -> List[BenchResult]:
+    wheel_dur = max(1, int(5 * US * scale))
+    churn_dur = max(1, int(4 * US * scale))
+
+    def wheel():
+        sim = build_timer_wheel()
+        return (lambda: sim.run(wheel_dur),
+                lambda: {"events": sum(c.events_processed
+                                       for c in sim.components)})
+
+    def churn():
+        sim = build_cancel_churn()
+        return (lambda: sim.run(churn_dur),
+                lambda: {"events": sum(c.events_processed
+                                       for c in sim.components)})
+
+    return [
+        measure("timer_wheel", {"components": 4, "timers": 64,
+                                "duration_ps": wheel_dur},
+                wheel, repeat=repeat, trace_alloc=trace_alloc),
+        measure("cancel_churn", {"components": 2, "streams": 64,
+                                 "duration_ps": churn_dur},
+                churn, repeat=repeat, trace_alloc=trace_alloc),
+    ]
+
+
+def _run_netsim(scale: float, repeat: int, trace_alloc: bool) -> List[BenchResult]:
+    duration = max(1, int(3 * MS * scale))
+
+    def flood():
+        system = build_netsim_flood()
+        state: Dict[str, int] = {}
+
+        def run():
+            stats, counters = run_system(system, duration, mode="fast")
+            state["events"] = stats.events
+            state["packets"] = counters["packets"]
+
+        return run, lambda: dict(state)
+
+    return [
+        measure("udp_kv_flood", {"clients": 4, "duration_ps": duration},
+                flood, repeat=repeat, trace_alloc=trace_alloc),
+    ]
+
+
+def _run_strict(scale: float, repeat: int, trace_alloc: bool) -> List[BenchResult]:
+    duration = max(1, int(400 * US * scale))
+    mixed_dur = max(1, int(1 * MS * scale))
+
+    def pingpong():
+        sim = build_strict_pingpong()
+        state: Dict[str, int] = {}
+
+        def run():
+            stats = sim.run(duration)
+            state["events"] = stats.events
+            state["rounds"] = stats.rounds
+
+        return run, lambda: dict(state)
+
+    def mixed():
+        system = build_mixed_system()
+        state: Dict[str, int] = {}
+
+        def run():
+            stats, counters = run_system(system, mixed_dur, mode="strict")
+            state["events"] = stats.events
+            state["packets"] = counters["packets"]
+
+        return run, lambda: dict(state)
+
+    return [
+        measure("strict_pingpong", {"pairs": 2, "duration_ps": duration},
+                pingpong, repeat=repeat, trace_alloc=trace_alloc),
+        measure("strict_mixed", {"duration_ps": mixed_dur},
+                mixed, repeat=repeat, trace_alloc=trace_alloc),
+    ]
+
+
+RUNNERS = {
+    "kernel": _run_kernel,
+    "netsim": _run_netsim,
+    "strict": _run_strict,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="splitsim-bench",
+        description="SplitSim hot-path microbenchmarks (JSON results).")
+    parser.add_argument("bench", choices=sorted(RUNNERS) + ["all"],
+                        help="which benchmark family to run")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="duration multiplier (0.1 = quick smoke run)")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="timing repetitions (best-of is reported)")
+    parser.add_argument("--no-alloc", action="store_true",
+                        help="skip the tracemalloc allocation pass")
+    parser.add_argument("--out", metavar="PATH", default=None,
+                        help="write the JSON results document here")
+    parser.add_argument("--compare", metavar="BASELINE", default=None,
+                        help="previously written document to compute speedups "
+                             "against")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.compare:
+        # fail fast: don't run minutes of benchmarks before discovering
+        # the baseline document is unreadable
+        try:
+            baseline = load_json(args.compare)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read baseline {args.compare}: {exc}",
+                  file=sys.stderr)
+            return 1
+    names = sorted(RUNNERS) if args.bench == "all" else [args.bench]
+    results: List[BenchResult] = []
+    for name in names:
+        results.extend(RUNNERS[name](args.scale, args.repeat,
+                                     not args.no_alloc))
+    doc = results_doc(args.bench, results)
+    for r in results:
+        line = (f"{r.name}: {r.events_per_sec:,.0f} ev/s "
+                f"({r.events} events in {r.wall_seconds:.3f}s)")
+        pps = r.extra.get("packets_per_sec")
+        if pps:
+            line += f", {pps:,.0f} pkt/s"
+        if r.alloc_peak_kib:
+            line += f", alloc peak {r.alloc_peak_kib:,.0f} KiB"
+        print(line)
+    if args.compare:
+        speedups = compare_docs(baseline, doc)
+        doc["baseline"] = baseline
+        doc["speedup"] = speedups
+        print("speedups vs", args.compare)
+        print(json.dumps(speedups, indent=2))
+    if args.out:
+        write_json(args.out, doc)
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

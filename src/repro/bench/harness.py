@@ -1,0 +1,163 @@
+"""Measurement machinery shared by all SplitSim microbenchmarks.
+
+Each benchmark is a *workload factory*: a zero-argument callable returning a
+fresh runnable object plus a ``run()`` thunk.  :func:`measure` executes the
+workload twice — once untraced for the timing numbers and once under
+``tracemalloc`` for the allocation footprint — so the timing pass is never
+polluted by the tracer's (large) overhead.
+
+The JSON document produced by :func:`results_doc` is the stable interface
+consumed by CI and by ``--compare``; keep its keys backward compatible.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+#: Schema version of the emitted JSON documents.
+SCHEMA = 1
+
+
+@dataclass
+class BenchResult:
+    """One benchmark measurement (a single workload at a single scale)."""
+
+    name: str
+    scale: Dict[str, Any]
+    wall_seconds: float
+    events: int
+    events_per_sec: float
+    #: workload-specific numbers (packets/sec, rounds, syncs, ...)
+    extra: Dict[str, Any] = field(default_factory=dict)
+    #: peak tracemalloc'd memory during the traced pass (KiB)
+    alloc_peak_kib: float = 0.0
+    #: live allocated blocks delta across the traced pass
+    alloc_blocks: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "scale": self.scale,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "events": self.events,
+            "events_per_sec": round(self.events_per_sec, 1),
+            "alloc_peak_kib": round(self.alloc_peak_kib, 1),
+            "alloc_blocks": self.alloc_blocks,
+            "extra": self.extra,
+        }
+
+
+def measure(name: str, scale: Dict[str, Any],
+            workload: Callable[[], Tuple[Callable[[], None],
+                                         Callable[[], Dict[str, Any]]]],
+            repeat: int = 3, trace_alloc: bool = True) -> BenchResult:
+    """Run ``workload`` and return the best-of-``repeat`` measurement.
+
+    ``workload()`` must build a fresh simulation and return ``(run, report)``:
+    ``run()`` executes it, ``report()`` returns at least ``{"events": N}``
+    plus any workload-specific counters (all copied into ``extra``).
+    """
+    best_wall = None
+    best_report: Dict[str, Any] = {}
+    for _ in range(max(1, repeat)):
+        run, report = workload()
+        t0 = time.perf_counter()
+        run()
+        wall = time.perf_counter() - t0
+        if best_wall is None or wall < best_wall:
+            best_wall = wall
+            best_report = report()
+
+    alloc_peak_kib = 0.0
+    alloc_blocks = 0
+    if trace_alloc:
+        run, _report = workload()
+        was_tracing = tracemalloc.is_tracing()
+        if not was_tracing:
+            tracemalloc.start()
+        tracemalloc.reset_peak()
+        before_cur, _ = tracemalloc.get_traced_memory()
+        snap_before = tracemalloc.take_snapshot()
+        run()
+        cur, peak = tracemalloc.get_traced_memory()
+        snap_after = tracemalloc.take_snapshot()
+        if not was_tracing:
+            tracemalloc.stop()
+        alloc_peak_kib = max(0.0, (peak - before_cur) / 1024.0)
+        blocks_before = sum(s.count for s in snap_before.statistics("filename"))
+        blocks_after = sum(s.count for s in snap_after.statistics("filename"))
+        alloc_blocks = blocks_after - blocks_before
+
+    events = int(best_report.get("events", 0))
+    extra = {k: v for k, v in best_report.items() if k != "events"}
+    assert best_wall is not None
+    if best_wall > 0:
+        # derive throughput for every raw counter the workload reported
+        for key, value in list(extra.items()):
+            if isinstance(value, (int, float)) and not key.endswith("_per_sec"):
+                extra[f"{key}_per_sec"] = round(value / best_wall, 1)
+    return BenchResult(
+        name=name, scale=scale, wall_seconds=best_wall, events=events,
+        events_per_sec=(events / best_wall) if best_wall > 0 else 0.0,
+        extra=extra, alloc_peak_kib=alloc_peak_kib, alloc_blocks=alloc_blocks,
+    )
+
+
+def results_doc(bench: str, results: list) -> Dict[str, Any]:
+    """Wrap raw results in the versioned JSON document."""
+    return {
+        "schema": SCHEMA,
+        "bench": bench,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "results": [r.to_dict() for r in results],
+    }
+
+
+def write_json(path: str, doc: Dict[str, Any]) -> None:
+    """Write a results document (pretty-printed, trailing newline)."""
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+
+
+def load_json(path: str) -> Dict[str, Any]:
+    """Load a previously written results document."""
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def compare_docs(baseline: Dict[str, Any],
+                 current: Dict[str, Any]) -> Dict[str, Any]:
+    """Per-workload speedups of ``current`` over ``baseline``.
+
+    Keys are workload names; values map metric -> ratio (>1 means faster /
+    more throughput in ``current``).
+    """
+    base = {r["name"]: r for r in baseline.get("results", [])}
+    out: Dict[str, Any] = {}
+    for r in current.get("results", []):
+        b = base.get(r["name"])
+        if b is None:
+            continue
+        entry: Dict[str, float] = {}
+        if b.get("events_per_sec"):
+            entry["events_per_sec"] = round(
+                r["events_per_sec"] / b["events_per_sec"], 3)
+        for metric in ("packets_per_sec", "rounds_per_sec"):
+            bv = b.get("extra", {}).get(metric)
+            cv = r.get("extra", {}).get(metric)
+            if bv and cv:
+                entry[metric] = round(cv / bv, 3)
+        if b.get("alloc_peak_kib") and r.get("alloc_peak_kib"):
+            # <1 means the optimized run allocates less
+            entry["alloc_peak_ratio"] = round(
+                r["alloc_peak_kib"] / b["alloc_peak_kib"], 3)
+        out[r["name"]] = entry
+    return out

@@ -1,0 +1,206 @@
+"""Benchmark workloads: deterministic simulations that stress the hot path.
+
+Every builder returns a *fresh* simulation (and whatever handles the caller
+needs to read counters afterwards).  All workloads are seeded and
+deterministic so that throughput comparisons across commits measure the
+interpreter, not the workload.
+
+``build_mixed_system`` doubles as the determinism-guard workload: it mixes
+UDP request/response traffic, TCP bulk transfers (exercising timer
+cancellation via RTO re-arming), and a detailed host, so its event timeline
+covers every hot-path code branch the kernel overhaul touches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..channels.channel import ChannelEnd
+from ..channels.messages import RawMsg
+from ..kernel.component import Component
+from ..kernel.simtime import MS, NS, US
+from ..netsim.apps.bulk import BulkSender, BulkSink
+from ..netsim.apps.kv import KVClientApp, KVServerApp
+from ..orchestration.system import System
+from ..parallel.simulation import Simulation
+
+GBPS = 1e9
+
+
+# -- kernel-level workloads ---------------------------------------------------
+
+class TimerWheelComponent(Component):
+    """``n_timers`` self-rescheduling timers with coprime-ish periods.
+
+    Pure event-queue churn: every event costs one schedule + one pop +
+    one dispatch, with nothing else on the path.
+    """
+
+    def __init__(self, name: str, n_timers: int, base_period_ps: int) -> None:
+        super().__init__(name)
+        self.n_timers = n_timers
+        self.base_period_ps = base_period_ps
+        self.ticks = 0
+
+    def start(self) -> None:
+        for i in range(self.n_timers):
+            self.call_after(self.base_period_ps + (i % 97), self._tick, i)
+
+    def _tick(self, i: int) -> None:
+        self.ticks += 1
+        self.call_after(self.base_period_ps + (i % 97), self._tick, i)
+
+
+class CancelChurnComponent(Component):
+    """RTO-style pattern: every tick cancels a pending guard and re-arms it.
+
+    Half of all scheduled events are cancelled before they fire, exercising
+    the lazy-deletion path and the live-count bookkeeping.
+    """
+
+    def __init__(self, name: str, n_streams: int, period_ps: int) -> None:
+        super().__init__(name)
+        self.n_streams = n_streams
+        self.period_ps = period_ps
+        self.ticks = 0
+        self._guards: dict = {}
+
+    def start(self) -> None:
+        for i in range(self.n_streams):
+            self.call_after(self.period_ps + i, self._tick, i)
+
+    def _noop(self, i: int) -> None:  # pragma: no cover - always cancelled
+        self._guards.pop(i, None)
+
+    def _tick(self, i: int) -> None:
+        self.ticks += 1
+        guard = self._guards.pop(i, None)
+        if guard is not None:
+            self.cancel(guard)
+        # guard far enough out that the next tick always cancels it
+        self._guards[i] = self.call_after(self.period_ps * 8, self._noop, i)
+        self.call_after(self.period_ps + (i % 13), self._tick, i)
+
+
+def build_timer_wheel(n_components: int = 4, n_timers: int = 64,
+                      base_period_ps: int = 2 * NS) -> Simulation:
+    """Fast-mode simulation of pure timer churn across several components."""
+    sim = Simulation(mode="fast")
+    for k in range(n_components):
+        sim.add(TimerWheelComponent(f"wheel{k}", n_timers, base_period_ps))
+    return sim
+
+
+def build_cancel_churn(n_components: int = 2, n_streams: int = 64,
+                       period_ps: int = 2 * NS) -> Simulation:
+    """Fast-mode simulation dominated by cancel + re-arm traffic."""
+    sim = Simulation(mode="fast")
+    for k in range(n_components):
+        sim.add(CancelChurnComponent(f"churn{k}", n_streams, period_ps))
+    return sim
+
+
+# -- strict-mode sync workload ------------------------------------------------
+
+class PingPongComponent(Component):
+    """Bounces ``RawMsg`` payloads over a synchronized channel."""
+
+    def __init__(self, name: str, latency_ps: int, initiate: bool,
+                 n_flows: int = 8) -> None:
+        super().__init__(name)
+        self.initiate = initiate
+        self.n_flows = n_flows
+        self.msgs = 0
+        self.end = self.attach_end(ChannelEnd(f"{name}.end", latency=latency_ps),
+                                   self._on_msg)
+
+    def start(self) -> None:
+        if self.initiate:
+            for i in range(self.n_flows):
+                self.call_after(1 + i, self._send, i)
+
+    def _send(self, i: int) -> None:
+        self.msgs += 1
+        self.end.send(RawMsg(payload=i), self.now)
+
+    def _on_msg(self, msg: RawMsg) -> None:
+        # reply after a short think time, keeping the channel busy forever
+        self.call_after(5 * NS, self._send, msg.payload)
+
+
+def build_strict_pingpong(n_pairs: int = 2, latency_ps: int = 100 * NS
+                          ) -> Simulation:
+    """Strict-mode simulation exercising the full sync protocol."""
+    sim = Simulation(mode="strict")
+    for k in range(n_pairs):
+        a = PingPongComponent(f"ping{k}", latency_ps, initiate=True)
+        b = PingPongComponent(f"pong{k}", latency_ps, initiate=False)
+        sim.add(a)
+        sim.add(b)
+        sim.connect(a.end, b.end)
+    return sim
+
+
+# -- netsim packet-path workload ----------------------------------------------
+
+def build_netsim_flood(n_clients: int = 4, seed: int = 7,
+                       link_bw_bps: float = 10 * GBPS,
+                       link_latency_ps: int = 1 * US) -> System:
+    """Star topology: ``n_clients`` KV clients hammering one server via UDP.
+
+    Every request/response crosses two links and one switch, so each
+    completed operation costs a full packet-path round trip (enqueue,
+    serialize, propagate, forward, deliver).
+    """
+    system = System(seed=seed)
+    system.switch("tor")
+    system.host("server")
+    system.link("server", "tor", link_bw_bps, link_latency_ps)
+    system.app("server", lambda h: KVServerApp())
+    addr = system.addr_of("server")
+    for i in range(n_clients):
+        name = f"client{i}"
+        system.host(name)
+        system.link(name, "tor", link_bw_bps, link_latency_ps)
+        system.app(name, lambda h, a=addr: KVClientApp([a], closed_loop_window=8))
+    return system
+
+
+# -- mixed workload (determinism guard + strict bench) ------------------------
+
+def build_mixed_system(seed: int = 11) -> System:
+    """UDP KV + TCP bulk + one detailed host: the determinism-guard workload.
+
+    The TCP flow exercises RTO arm/cancel churn; the KV traffic exercises
+    the UDP fast path; the detailed (qemu) host exercises the host-simulator
+    and driver channels.  Built identically for fast and strict runs.
+    """
+    system = System(seed=seed)
+    system.switch("tor")
+    system.host("server", simulator="qemu")
+    system.host("kvclient")
+    system.host("bulksrc")
+    system.host("bulkdst")
+    for name in ("server", "kvclient", "bulksrc", "bulkdst"):
+        system.link(name, "tor", 10 * GBPS, 1 * US)
+    system.app("server", lambda h: KVServerApp())
+    addr = system.addr_of("server")
+    system.app("kvclient",
+               lambda h: KVClientApp([addr], closed_loop_window=4))
+    dst_addr = system.addr_of("bulkdst")
+    system.app("bulkdst", lambda h: BulkSink())
+    system.app("bulksrc",
+               lambda h: BulkSender(dst_addr, total_bytes=256 * 1024))
+    return system
+
+
+# -- run helpers ---------------------------------------------------------------
+
+def run_system(system: System, duration_ps: int, mode: str
+               ) -> Tuple[object, Dict[str, int]]:
+    """Instantiate and run a :class:`System`; returns (stats, counters)."""
+    from ..orchestration.instantiate import Instantiation
+    exp = Instantiation(system, mode=mode).build()
+    result = exp.run(duration_ps)
+    packets = sum(net.total_tx_packets() for net in exp.network_components())
+    return result.stats, {"packets": packets}

@@ -28,6 +28,7 @@ spent waiting / sending / receiving); see :mod:`repro.profiler`.
 from __future__ import annotations
 
 from collections import deque
+from itertools import count
 from typing import Callable, Iterable, Optional, TYPE_CHECKING
 
 from .messages import Msg, SyncMsg
@@ -35,6 +36,13 @@ from ..kernel.simtime import TIME_INFINITY
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..kernel.component import Component
+
+#: Process-global send order for data messages on synchronized ends.  A
+#: receiver with several input channels can see equal delivery stamps from
+#: different channels in one poll round; ``Msg.seq`` lets it dispatch them in
+#: send order — the order the fast-mode shared queue would have used — instead
+#: of channel attach order.
+_send_seq = count(1)
 
 
 class FifoQueue:
@@ -131,6 +139,10 @@ class ChannelEnd:
         if self.out_q is None:
             raise RuntimeError(f"channel end {self.name} is not wired")
         msg.stamp = stamp
+        if self.synchronized:
+            # fast mode (synchronized=False) orders deliveries by its shared
+            # queue and skips the counter bump on its per-message hot path
+            msg.seq = next(_send_seq)
         self._out_last_stamp = stamp
         self.tx_msgs += 1
         self.tx_bytes += msg.wire_size()

@@ -30,6 +30,11 @@ class Msg:
     """Base class for all channel messages."""
 
     stamp: int = 0
+    #: Global send order (assigned by :meth:`ChannelEnd.send` on synchronized
+    #: ends, 0 otherwise).  Breaks same-stamp delivery ties across *different*
+    #: channels of one receiver so the strict sync protocol dispatches them in
+    #: the same order as the fast-mode oracle.
+    seq: int = 0
 
     def wire_size(self) -> int:
         """Estimated serialized bytes (shm slot sizing + transfer cost)."""

@@ -25,6 +25,7 @@ parallel schedule.
 
 from __future__ import annotations
 
+from operator import itemgetter
 from typing import Any, Callable, Dict, List, Optional
 
 from .events import Event, EventQueue
@@ -62,6 +63,11 @@ class WorkRecorder:
         return sum(self.work.get(comp, {}).values())
 
 
+#: Sort key for one poll round's deliveries: (stamp, send time, send order).
+#: Keyed on the leading ints only — ends/messages are never compared.
+_delivery_order = itemgetter(0, 1, 2)
+
+
 class Component:
     """Base class for all simulator instances.
 
@@ -84,6 +90,11 @@ class Component:
         self.work_cycles = 0.0
         self.recorder: Optional[WorkRecorder] = None
         self._started = False
+        #: bound-method caches: avoid re-creating bound method objects on
+        #: every delivery/schedule.  ``_schedule_at`` must be refreshed if
+        #: ``self.queue`` is ever replaced (the fast-mode coordinator does).
+        self._dispatch_cached = self._dispatch
+        self._schedule_at = self.queue.schedule_at
 
     # -- wiring -----------------------------------------------------------
 
@@ -108,11 +119,19 @@ class Component:
             raise ValueError(
                 f"{self.name}: scheduling into the past ({ts} < now {self.now})"
             )
-        return self.queue.schedule(ts, fn, *args, owner=self)
+        return self._schedule_at(self, ts, fn, *args)
 
     def call_after(self, delay: int, fn: Callable[..., None], *args: Any) -> Event:
-        """Schedule ``fn(*args)`` ``delay`` picoseconds from now."""
-        return self.schedule(self.now + delay, fn, *args)
+        """Schedule ``fn(*args)`` ``delay`` picoseconds from now.
+
+        Calls straight into the queue (bypassing :meth:`schedule`) — this is
+        the hottest scheduling entry point in the simulator.
+        """
+        if delay < 0:
+            raise ValueError(
+                f"{self.name}: scheduling into the past (delay {delay})"
+            )
+        return self._schedule_at(self, self.now + delay, fn, *args)
 
     def cancel(self, ev: Event) -> None:
         """Cancel a previously scheduled event."""
@@ -132,14 +151,32 @@ class Component:
     # -- advance loop -------------------------------------------------------
 
     def poll_inputs(self) -> None:
-        """Drain all input queues, scheduling data messages as local events."""
+        """Drain all input queues, scheduling data messages as local events.
+
+        Messages polled in one round are dispatched in ``(stamp, send time,
+        send order)`` order, not channel attach order: two channels can carry
+        equal delivery stamps, and the fast-mode oracle executes those
+        deliveries in send order.  Send time is recovered as ``stamp -
+        latency`` (per-channel latency is fixed), so only ``msg.seq`` travels
+        on the wire.
+        """
+        schedule_at = self._schedule_at
+        dispatch = self._dispatch_cached
+        now = self.now
+        batch = []
         for end in self.ends:
+            latency = end.latency
             for msg in end.poll():
-                if msg.stamp < self.now:
+                stamp = msg.stamp
+                if stamp < now:
                     raise AssertionError(
-                        f"{self.name}: stale message stamp {msg.stamp} < now {self.now}"
+                        f"{self.name}: stale message stamp {stamp} < now {now}"
                     )
-                self.queue.schedule(msg.stamp, self._dispatch, end, msg, owner=self)
+                batch.append((stamp, stamp - latency, msg.seq, end, msg))
+        if len(batch) > 1:
+            batch.sort(key=_delivery_order)
+        for stamp, _send_ts, _seq, end, msg in batch:
+            schedule_at(self, stamp, dispatch, end, msg)
 
     def blocking_ends(self) -> List[ChannelEnd]:
         """Channel ends currently limiting this component's progress."""
@@ -170,17 +207,12 @@ class Component:
             self.start()
         self.poll_inputs()
         horizon = self.input_horizon()
-        while True:
-            nxt = self.queue.peek_ts()
-            if nxt is None or nxt > target or nxt >= horizon:
-                break
-            ev = self.queue.pop()
-            assert ev is not None
-            self.now = ev.ts
-            self._run_event(ev)
-            # Events may have arrived meanwhile only in multi-process mode,
-            # where the runner re-polls; in cooperative mode inputs only
-            # change between advance calls.
+        # Events may run at ts <= target and strictly below the horizon; the
+        # fused drain does the whole loop with one cancelled-scan per event.
+        # (Inputs arriving meanwhile only matter in multi-process mode, where
+        # the runner re-polls between advance calls.)
+        bound = target if target < horizon else horizon - 1
+        self.queue.run_until(bound)
         nxt = self.queue.peek_ts()
         commit = min(nxt if nxt is not None else TIME_INFINITY, horizon, target)
         if commit > self.now:

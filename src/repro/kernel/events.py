@@ -1,39 +1,64 @@
 """Discrete-event machinery: events, the event queue, and cancellation.
 
-The queue is a binary heap keyed on ``(timestamp, sequence)``.  The sequence
-number breaks timestamp ties in insertion order, which makes simulations
-deterministic: two events scheduled for the same picosecond always execute in
-the order they were scheduled.
+The queue is a binary heap of ``(timestamp, sequence, event)`` tuples.  The
+sequence number breaks timestamp ties in insertion order, which makes
+simulations deterministic: two events scheduled for the same picosecond
+always execute in the order they were scheduled.
+
+Hot-path design (this loop bounds overall simulator throughput):
+
+* Heap entries are plain tuples, so ``heapq`` sift compares machine ints via
+  tuple comparison instead of calling rich-comparison dunders on event
+  objects.
+* ``Event`` is a ``__slots__`` class and instances are recycled through a
+  per-queue free list: an event returns to the pool after its callback runs
+  (or after its cancelled carcass is dropped from the heap top).
+* ``pop_until`` / ``run_until`` fuse the classic ``peek_ts`` + ``pop`` pair
+  into one scan over cancelled heap entries, and ``run_until`` additionally
+  inlines the per-event accounting of :class:`~repro.kernel.component.Component`.
+
+**Pooled-event lifetime rule:** a handle returned by :meth:`EventQueue.schedule`
+is only valid until the event fires or its cancellation is collected.  Do not
+retain handles after the callback has run; clear stored handles inside the
+callback (see ``TcpConnection._on_rto`` for the canonical pattern).
+Cancelling an already-fired handle is a safe no-op *only* until the pooled
+object is reused, so stale handles must not escape their callback's turn.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 
-@dataclass(order=True)
 class Event:
     """A single scheduled callback.
 
-    Events compare by ``(ts, seq)`` so they can live directly in a heap.
-    Use :meth:`cancel` rather than removing from the queue; cancelled
-    events are skipped lazily when popped.
+    Events live in the heap inside ``(ts, seq, event)`` tuples; the object
+    itself is never compared.  Use :meth:`cancel` rather than removing from
+    the queue; cancelled events are skipped lazily when popped.
     """
 
-    ts: int
-    seq: int
-    fn: Callable[..., None] = field(compare=False)
-    args: tuple = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
-    #: Owning component when events from several components share one queue
-    #: (the coordinator's fast mode); ``None`` for private queues.
-    owner: Any = field(compare=False, default=None)
+    __slots__ = ("ts", "seq", "fn", "args", "cancelled", "owner", "_queue")
+
+    def __init__(self, ts: int, seq: int, fn: Callable[..., None],
+                 args: tuple = (), owner: Any = None,
+                 queue: Optional["EventQueue"] = None) -> None:
+        self.ts = ts
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+        self.owner = owner
+        self._queue = queue
 
     def cancel(self) -> None:
-        """Mark the event so the queue skips it when popped."""
-        self.cancelled = True
+        """Cancel this event; delegates to the owning queue's bookkeeping."""
+        queue = self._queue
+        if queue is not None:
+            queue.cancel(self)
+        else:
+            self.cancelled = True
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         name = getattr(self.fn, "__qualname__", repr(self.fn))
@@ -42,17 +67,31 @@ class Event:
 
 
 class EventQueue:
-    """Deterministic min-heap of :class:`Event` objects.
+    """Deterministic min-heap of :class:`Event` objects with a free list.
 
     Cancellation is lazy: cancelled events stay in the heap until they reach
-    the top, at which point they are discarded.  ``len()`` reports only live
-    events.
+    the top, at which point they are discarded (and recycled).  ``len()``
+    reports only live events.
     """
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        self._heap: List[Tuple[int, int, Event]] = []
         self._seq = 0
         self._live = 0
+        self._pool: List[Event] = []
+        #: optional per-executed-event hook ``trace(owner, ts)`` — used by
+        #: the determinism guard; ``None`` costs one pointer test per event.
+        self.trace: Optional[Callable[[Any, int], None]] = None
+        # -- lifetime statistics (surfaced through SimStats) --
+        self.peak_heap = 0
+        self.allocations = 0  # fresh Event objects constructed
+        self.cancelled_total = 0  # events cancelled before firing
+        self.executed = 0  # events whose callback ran
+
+    @property
+    def pool_reuse(self) -> int:
+        """Schedules served from the free list (derived, not hot-path kept)."""
+        return self._seq - self.allocations
 
     def __len__(self) -> int:
         return self._live
@@ -60,15 +99,65 @@ class EventQueue:
     def __bool__(self) -> bool:
         return self._live > 0
 
+    # -- scheduling --------------------------------------------------------
+
     def schedule(self, ts: int, fn: Callable[..., None], *args: Any,
                  owner: Any = None) -> Event:
         """Insert a callback at absolute time ``ts`` and return its handle."""
         if ts < 0:
             raise ValueError(f"cannot schedule event at negative time {ts}")
-        ev = Event(ts, self._seq, fn, args, owner=owner)
-        self._seq += 1
+        seq = self._seq
+        self._seq = seq + 1
+        pool = self._pool
+        if pool:
+            ev = pool.pop()
+            ev.ts = ts
+            ev.seq = seq
+            ev.fn = fn
+            ev.args = args
+            ev.cancelled = False
+            ev.owner = owner
+        else:
+            ev = Event(ts, seq, fn, args, owner=owner, queue=self)
+            self.allocations += 1
         self._live += 1
-        heapq.heappush(self._heap, ev)
+        heap = self._heap
+        heapq.heappush(heap, (ts, seq, ev))
+        # sampled high-water mark: every 256th schedule, cheap on the hot path
+        if not seq & 255 and len(heap) > self.peak_heap:
+            self.peak_heap = len(heap)
+        return ev
+
+    def schedule_at(self, owner: Any, ts: int, fn: Callable[..., None],
+                    *args: Any) -> Event:
+        """Positional-owner mirror of :meth:`schedule` for hot callers.
+
+        Identical semantics; exists because keyword passing of ``owner`` is
+        measurably slower on the per-message path (``call_after``,
+        ``poll_inputs``, fast-mode channel delivery).
+        """
+        if ts < 0:
+            raise ValueError(f"cannot schedule event at negative time {ts}")
+        seq = self._seq
+        self._seq = seq + 1
+        pool = self._pool
+        if pool:
+            ev = pool.pop()
+            ev.ts = ts
+            ev.seq = seq
+            ev.fn = fn
+            ev.args = args
+            ev.cancelled = False
+            ev.owner = owner
+        else:
+            ev = Event(ts, seq, fn, args, owner=owner, queue=self)
+            self.allocations += 1
+        self._live += 1
+        heap = self._heap
+        heapq.heappush(heap, (ts, seq, ev))
+        # sampled high-water mark: every 256th schedule, cheap on the hot path
+        if not seq & 255 and len(heap) > self.peak_heap:
+            self.peak_heap = len(heap)
         return ev
 
     def cancel(self, ev: Event) -> None:
@@ -76,23 +165,153 @@ class EventQueue:
         if not ev.cancelled:
             ev.cancelled = True
             self._live -= 1
+            self.cancelled_total += 1
+
+    # -- pool --------------------------------------------------------------
+
+    def _recycle(self, ev: Event) -> None:
+        """Return a dead event to the free list, dropping its references."""
+        ev.fn = _released
+        ev.args = ()
+        ev.owner = None
+        ev.cancelled = True
+        self._pool.append(ev)
+
+    def release(self, ev: Event) -> None:
+        """Explicitly return a popped event to the pool.
+
+        Only call this on events obtained from :meth:`pop` / :meth:`pop_until`
+        after their callback has completed; the handle must not be used
+        afterwards.  Idempotent for already-released events.
+        """
+        if ev.fn is not _released:
+            self._recycle(ev)
+
+    # -- consuming ---------------------------------------------------------
 
     def peek_ts(self) -> Optional[int]:
         """Timestamp of the next live event, or ``None`` if empty."""
-        self._drop_cancelled()
-        if not self._heap:
-            return None
-        return self._heap[0].ts
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            if entry[2].cancelled:
+                heapq.heappop(heap)
+                self._recycle(entry[2])
+            else:
+                return entry[0]
+        return None
 
     def pop(self) -> Optional[Event]:
-        """Remove and return the next live event, or ``None`` if empty."""
-        self._drop_cancelled()
-        if not self._heap:
-            return None
-        self._live -= 1
-        return heapq.heappop(self._heap)
+        """Remove and return the next live event, or ``None`` if empty.
 
-    def _drop_cancelled(self) -> None:
+        The caller owns the returned event until it hands it back via
+        :meth:`release` (optional — unreleased events are simply collected
+        by the garbage collector, forgoing reuse).
+        """
         heap = self._heap
-        while heap and heap[0].cancelled:
-            heapq.heappop(heap)
+        while heap:
+            ev = heapq.heappop(heap)[2]
+            if ev.cancelled:
+                self._recycle(ev)
+            else:
+                self._live -= 1
+                return ev
+        return None
+
+    def pop_until(self, until_ps: int) -> Optional[Event]:
+        """Pop the next live event with ``ts <= until_ps`` in a single scan.
+
+        Returns ``None`` when the queue is empty or the next live event lies
+        beyond ``until_ps`` — fusing the ``peek_ts`` + ``pop`` pair that
+        previously walked cancelled entries twice.
+        """
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            entry = heap[0]
+            ev = entry[2]
+            if ev.cancelled:
+                pop(heap)
+                self._recycle(ev)
+                continue
+            if entry[0] > until_ps:
+                return None
+            pop(heap)
+            self._live -= 1
+            return ev
+        return None
+
+    def run_until(self, until_ps: int) -> int:
+        """Execute every live event with ``ts <= until_ps``; return the count.
+
+        The fused fast drain: one heap scan per event, owner clock update,
+        default per-event work accounting, callback invocation, and recycling
+        all inlined with hoisted lookups.  Events must carry an ``owner``
+        component (the coordinator and :meth:`Component.advance` guarantee
+        this); ownerless events are executed without accounting.
+        """
+        heap = self._heap
+        pop = heapq.heappop
+        pool = self._pool
+        trace = self.trace
+        steps = 0
+        while heap:
+            # pop-first: cheaper than peek-then-pop per event; overshooting
+            # the bound costs a single push-back per drain instead
+            entry = pop(heap)
+            ev = entry[2]
+            if ev.cancelled:
+                ev.fn = _released
+                ev.args = ()
+                ev.owner = None
+                pool.append(ev)
+                continue
+            ts = entry[0]
+            if ts > until_ps:
+                heapq.heappush(heap, entry)
+                break
+            steps += 1
+            owner = ev.owner
+            if owner is not None:
+                owner.now = ts
+                owner.events_processed += 1
+                cycles = owner.cycles_per_event
+                owner.work_cycles += cycles
+                recorder = owner.recorder
+                if recorder is not None:
+                    recorder.note_work(owner.name, ts, cycles)
+            if trace is not None:
+                trace(owner, ts)
+            ev.fn(*ev.args)
+            # recycle: the callback has returned, the handle is dead
+            # (cancelled=True tombstones stale handles; owner is left set —
+            # components outlive the run, so the reference is harmless)
+            ev.fn = _released
+            ev.args = ()
+            ev.cancelled = True
+            pool.append(ev)
+        # live-count is settled once per drain, not per event; ``len()`` is
+        # only meaningful at drain boundaries (nothing reads it mid-drain)
+        self._live -= steps
+        self.executed += steps
+        return steps
+
+    # -- statistics --------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Lifetime counters for :class:`~repro.parallel.simulation.SimStats`."""
+        scheduled = self._seq
+        return {
+            "peak_heap": self.peak_heap,
+            "allocations": self.allocations,
+            "pool_reuse": self.pool_reuse,
+            "pool_reuse_rate": (self.pool_reuse / scheduled) if scheduled else 0.0,
+            "cancelled_total": self.cancelled_total,
+            "cancelled_ratio": (self.cancelled_total / scheduled) if scheduled else 0.0,
+            "executed": self.executed,
+        }
+
+
+def _released(*_args: Any) -> None:  # pragma: no cover - defensive sentinel
+    """Sentinel callback marking a pooled (dead) event; must never fire."""
+    raise AssertionError("released (pooled) event was invoked")

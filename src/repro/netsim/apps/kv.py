@@ -112,6 +112,8 @@ class KVServerApp(App):
         reply = KvReply(op=req.op, key=req.key, req_id=req.req_id,
                         served_by=self.host.addr, value_bytes=self.value_bytes)
         self.sock.sendto(pkt.src, pkt.src_port, reply_bytes, payload=reply)
+        # final consumer of the request datagram: recycle it
+        pkt.release()
 
 
 class KVClientApp(App):
@@ -183,10 +185,11 @@ class KVClientApp(App):
         if not isinstance(reply, KvReply):
             return
         entry = self._outstanding.pop(reply.req_id, None)
-        if entry is None:
-            return
-        sent_ts, op = entry
-        self.stats.record(self.now, self.now - sent_ts, op)
-        if self.closed_loop_window is not None:
-            if self.stop_after is None or self.stats.sent < self.stop_after:
-                self._send_one(reschedule=False)
+        if entry is not None:
+            sent_ts, op = entry
+            self.stats.record(self.now, self.now - sent_ts, op)
+            if self.closed_loop_window is not None:
+                if self.stop_after is None or self.stats.sent < self.stop_after:
+                    self._send_one(reschedule=False)
+        # final consumer of the reply datagram: recycle it
+        pkt.release()

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional, TYPE_CHECKING
 
-from ..kernel.simtime import bits_time
+from ..kernel.simtime import SEC
 from .packet import Packet
 from .queues import DropTailQueue
 
@@ -50,12 +50,17 @@ class LinkDirection:
     def __init__(self, net: "NetworkSim", bandwidth_bps: float, latency_ps: int,
                  queue: DropTailQueue,
                  deliver: Callable[[Packet], None]) -> None:
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
         self.net = net
         self.bandwidth_bps = bandwidth_bps
         self.latency_ps = latency_ps
         self.queue = queue
         self.deliver = deliver
         self.busy = False
+        # hot-path cache: integer bandwidth for the inline ceil-division
+        # (identical math to simtime.bits_time)
+        self._bw_int = int(bandwidth_bps)
         #: Optional hook invoked when a packet starts serialization
         #: (used by PTP transparent clocks to record residence time).
         self.on_tx_start: Optional[Callable[[Packet, int], None]] = None
@@ -75,17 +80,21 @@ class LinkDirection:
             self.busy = False
             return
         self.busy = True
+        net = self.net
         if self.on_tx_start is not None:
-            self.on_tx_start(pkt, self.net.now)
-        serialization = bits_time(pkt.size_bits, self.bandwidth_bps)
-        self.net.call_after(serialization, self._tx_done, pkt)
+            self.on_tx_start(pkt, net.now)
+        serialization = -(-pkt.size_bits * SEC // self._bw_int)
+        # direct queue insert (delays are non-negative by construction);
+        # _schedule_at is read through ``net`` so a queue swap stays visible
+        net._schedule_at(net, net.now + serialization, self._tx_done, pkt)
 
     def _tx_done(self, pkt: Packet) -> None:
         self.tx_packets += 1
         self.tx_bytes += pkt.size_bytes
         pkt.hops += 1
         if self.latency_ps > 0:
-            self.net.call_after(self.latency_ps, self.deliver, pkt)
+            net = self.net
+            net._schedule_at(net, net.now + self.latency_ps, self.deliver, pkt)
         else:
             self.deliver(pkt)
         self._tx_next()

@@ -115,6 +115,8 @@ class NetworkSim(Component):
             DropTailQueue(queue_capacity_bytes, ecn_threshold_pkts),
         )
         self.links.append(link)
+        node_a.invalidate_routes()
+        node_b.invalidate_routes()
         return link
 
     def add_external(self, label: str, node: Node, bandwidth_bps: float,
@@ -129,6 +131,7 @@ class NetworkSim(Component):
         if label in self.externals:
             raise ValueError(f"duplicate external label {label!r}")
         self.externals[label] = att
+        node.invalidate_routes()
         return att
 
     # -- channel plumbing -------------------------------------------------------

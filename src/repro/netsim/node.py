@@ -39,6 +39,13 @@ class Node:
         """Handle a packet delivered to this node on ``port``."""
         raise NotImplementedError
 
+    def invalidate_routes(self) -> None:
+        """Topology-change hook: drop any cached forwarding decisions.
+
+        No-op for plain nodes; switches clear their route cache.  Called by
+        :meth:`NetworkSim.add_link` / :meth:`NetworkSim.add_external`.
+        """
+
     def __repr__(self) -> str:  # pragma: no cover
         return f"<{type(self).__name__} {self.name}>"
 
@@ -59,6 +66,10 @@ class NetHost(Node):
         self.stack = Stack(env=self, addr=addr)
         self.apps: list = []
         self._rng = make_rng(net.seed_root, f"host.{name}")
+        # hot-path cache: the per-packet receive path skips two attribute
+        # traversals per delivery
+        self._handle_packet = self.stack.handle_packet
+        self._call_after = net.call_after
 
     # -- stack environment interface ---------------------------------------
 
@@ -99,9 +110,9 @@ class NetHost(Node):
     def receive(self, pkt: Packet, port: Port) -> None:
         """Deliver a received packet to the transport stack."""
         if self.rx_proc_delay_ps > 0:
-            self.net.call_after(self.rx_proc_delay_ps, self.stack.handle_packet, pkt)
+            self._call_after(self.rx_proc_delay_ps, self._handle_packet, pkt)
         else:
-            self.stack.handle_packet(pkt)
+            self._handle_packet(pkt)
 
     # -- applications --------------------------------------------------------
 

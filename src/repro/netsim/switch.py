@@ -46,6 +46,10 @@ class Switch(Node):
         self.pipeline = pipeline
         #: destination address -> candidate output ports (ECMP set)
         self.fib: Dict[int, List[Port]] = {}
+        #: lazily-filled ``dst -> port`` cache for single-port FIB entries;
+        #: ECMP destinations are never cached (the per-packet flow hash must
+        #: run).  Invalidated by :meth:`add_route` / :meth:`invalidate_routes`.
+        self._route_cache: Dict[int, Port] = {}
         self.rx_packets = 0
         self.tx_packets = 0
         self.no_route_drops = 0
@@ -57,15 +61,25 @@ class Switch(Node):
         self.fib.setdefault(dst_addr, [])
         if port not in self.fib[dst_addr]:
             self.fib[dst_addr].append(port)
+        self._route_cache.pop(dst_addr, None)
+
+    def invalidate_routes(self) -> None:
+        """Drop the cached route decisions (topology changed)."""
+        self._route_cache.clear()
 
     # -- datapath --------------------------------------------------------------
 
     def receive(self, pkt: Packet, port: Optional[Port]) -> None:
         """Ingress: note arrival, run the pipeline after the lookup delay."""
         self.rx_packets += 1
-        pkt.arrival_ts = self.net.now
+        net = self.net
+        now = net.now
+        pkt.arrival_ts = now
         if self.proc_delay_ps > 0:
-            self.net.call_after(self.proc_delay_ps, self._process, pkt, port)
+            # direct queue insert; _schedule_at is read through ``net`` so
+            # the fast-mode queue swap stays visible
+            net._schedule_at(net, now + self.proc_delay_ps, self._process,
+                             pkt, port)
         else:
             self._process(pkt, port)
 
@@ -81,14 +95,17 @@ class Switch(Node):
 
     def forward(self, pkt: Packet) -> None:
         """Send a packet out the FIB-selected port for its destination."""
-        ports = self.fib.get(pkt.dst)
-        if not ports:
-            self.no_route_drops += 1
-            return
-        if len(ports) == 1:
-            port = ports[0]
-        else:
-            port = ports[hash(pkt.flow_key()) % len(ports)]
+        port = self._route_cache.get(pkt.dst)
+        if port is None:
+            ports = self.fib.get(pkt.dst)
+            if not ports:
+                self.no_route_drops += 1
+                return
+            if len(ports) == 1:
+                port = ports[0]
+                self._route_cache[pkt.dst] = port
+            else:
+                port = ports[hash(pkt.flow_key()) % len(ports)]
         self.tx_packets += 1
         port.send(pkt)
 

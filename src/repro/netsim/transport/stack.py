@@ -42,15 +42,17 @@ class UdpSocket:
     def sendto(self, dst: int, dst_port: int, nbytes: int,
                payload=None, ect: bool = False) -> Packet:
         """Send one datagram of ``nbytes`` application payload."""
-        self.stack.env.charge(costs.UDP_TX_INSTR
-                              + int(costs.COPY_INSTR_PER_BYTE * nbytes))
-        pkt = Packet(
-            src=self.stack.addr, dst=dst, size_bytes=nbytes + HEADER_BYTES,
-            proto="udp", src_port=self.port, dst_port=dst_port,
-            payload=payload, ect=ect, create_ts=self.stack.env.now,
+        stack = self.stack
+        env = stack.env
+        env.charge(costs.UDP_TX_INSTR
+                   + int(costs.COPY_INSTR_PER_BYTE * nbytes))
+        pkt = Packet.alloc(
+            stack.addr, dst, nbytes + HEADER_BYTES,
+            "udp", self.port, dst_port,
+            payload=payload, ect=ect, create_ts=env.now,
         )
         self.tx_dgrams += 1
-        self.stack.env.tx(pkt)
+        env.tx(pkt)
         return pkt
 
     def close(self) -> None:
@@ -59,7 +61,9 @@ class UdpSocket:
 
     def _deliver(self, pkt: Packet) -> None:
         self.rx_dgrams += 1
-        payload_bytes = max(0, pkt.size_bytes - HEADER_BYTES)
+        payload_bytes = pkt.size_bytes - HEADER_BYTES
+        if payload_bytes < 0:
+            payload_bytes = 0
         self.stack.env.charge(costs.UDP_RX_INSTR
                               + int(costs.COPY_INSTR_PER_BYTE * payload_bytes))
         if self.on_dgram is not None:

@@ -39,23 +39,30 @@ class DeadlockError(RuntimeError):
 
 
 class _DirectQueue:
-    """Fast-mode transport: delivers straight into the peer's event queue."""
+    """Fast-mode transport: delivers straight into the peer's event queue.
+
+    ``bind`` caches the receiver's ``queue.schedule`` and dispatch bound
+    methods so the per-message ``push`` does no attribute traversal at all.
+    """
 
     def __init__(self) -> None:
         self.peer_comp: Optional[Component] = None
         self.peer_end: Optional[ChannelEnd] = None
+        self._schedule_at = None
+        self._dispatch = None
 
     def bind(self, comp: Component, end: ChannelEnd) -> None:
         """Point this queue at the receiving component and end."""
         self.peer_comp = comp
         self.peer_end = end
+        self._schedule_at = comp.queue.schedule_at
+        self._dispatch = comp._dispatch_cached
 
     def push(self, msg) -> bool:
         """Deliver a message straight into the peer's event queue."""
-        comp, end = self.peer_comp, self.peer_end
-        assert comp is not None and end is not None
+        end = self.peer_end
         end.rx_msgs += 1
-        comp.queue.schedule(msg.stamp, comp._dispatch, end, msg, owner=comp)
+        self._schedule_at(self.peer_comp, msg.stamp, self._dispatch, end, msg)
         return True
 
     def pop(self):  # pragma: no cover - fast mode never polls
@@ -76,6 +83,15 @@ class SimStats:
     mode: str = "fast"
     per_component_events: Dict[str, int] = field(default_factory=dict)
     per_component_work: Dict[str, float] = field(default_factory=dict)
+    # -- event-queue/engine health (aggregated over all queues of the run) --
+    #: largest heap length observed (live + lazily-cancelled entries)
+    peak_heap: int = 0
+    #: fraction of schedules served from the event free list
+    pool_reuse_rate: float = 0.0
+    #: fraction of scheduled events cancelled before firing
+    cancelled_ratio: float = 0.0
+    #: fresh Event objects constructed across the run
+    event_allocations: int = 0
 
     @property
     def events_per_second(self) -> float:
@@ -153,6 +169,7 @@ class Simulation:
                         break
                     shared.schedule(ev.ts, ev.fn, *ev.args, owner=c)
                 c.queue = shared
+                c._schedule_at = shared.schedule_at
             for end_a, end_b in self.channels:
                 q_ab, q_ba = _DirectQueue(), _DirectQueue()
                 q_ab.bind(end_b.owner, end_b)
@@ -188,24 +205,33 @@ class Simulation:
             per_component_events={c.name: c.events_processed for c in self.components},
             per_component_work={c.name: c.work_cycles for c in self.components},
         )
+        self._fill_queue_stats(stats)
         return stats
+
+    def _fill_queue_stats(self, stats: SimStats) -> None:
+        """Aggregate queue health counters (fast mode shares one queue)."""
+        queues = {id(c.queue): c.queue for c in self.components}
+        scheduled = cancelled = reused = allocs = 0
+        for q in queues.values():
+            qs = q.stats()
+            stats.peak_heap = max(stats.peak_heap, qs["peak_heap"])
+            allocs += qs["allocations"]
+            reused += qs["pool_reuse"]
+            cancelled += qs["cancelled_total"]
+            scheduled += qs["allocations"] + qs["pool_reuse"]
+        stats.event_allocations = allocs
+        if scheduled:
+            stats.pool_reuse_rate = reused / scheduled
+            stats.cancelled_ratio = cancelled / scheduled
 
     def _run_fast(self, until_ps: int) -> int:
         queue = self._shared_queue
         for c in self.components:
             c._started = True
             c.start()
-        steps = 0
-        while True:
-            ts = queue.peek_ts()
-            if ts is None or ts > until_ps:
-                break
-            ev = queue.pop()
-            assert ev is not None
-            owner: Component = ev.owner
-            owner.now = ev.ts
-            owner._run_event(ev)
-            steps += 1
+        # One fused drain: a single cancelled-scan per event, inlined
+        # dispatch accounting, and free-list recycling (kernel/events.py).
+        steps = queue.run_until(until_ps)
         for c in self.components:
             if c.now < until_ps:
                 c.now = until_ps

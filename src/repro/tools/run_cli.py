@@ -114,6 +114,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     stats = result.stats
     print(f"done: {stats.events} events in {stats.wall_seconds:.2f}s wall "
           f"({stats.events_per_second:.0f} ev/s)")
+    print(f"engine: peak heap {stats.peak_heap}, "
+          f"event pool reuse {stats.pool_reuse_rate:.1%}, "
+          f"cancelled {stats.cancelled_ratio:.1%}, "
+          f"{stats.event_allocations} allocations")
 
     app_stats = collect_app_stats(exp)
     for key in sorted(app_stats):
@@ -131,6 +135,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "duration_ps": duration,
                 "events": stats.events,
                 "wall_seconds": stats.wall_seconds,
+                "engine": {
+                    "peak_heap": stats.peak_heap,
+                    "pool_reuse_rate": stats.pool_reuse_rate,
+                    "cancelled_ratio": stats.cancelled_ratio,
+                    "event_allocations": stats.event_allocations,
+                },
                 "apps": app_stats,
             }, fh, indent=2, default=str)
         print(f"wrote {args.json}")

@@ -1,0 +1,56 @@
+"""The splitsim-bench harness: JSON schema, scaling, and comparisons."""
+
+import json
+
+from repro.bench.cli import main
+from repro.bench.harness import compare_docs, load_json
+
+
+def run_bench(tmp_path, name, args=()):
+    out = tmp_path / f"{name}.json"
+    rc = main([name, "--scale", "0.02", "--repeat", "1", "--no-alloc",
+               "--out", str(out), *args])
+    assert rc == 0
+    return load_json(str(out))
+
+
+def test_kernel_bench_json_schema(tmp_path):
+    doc = run_bench(tmp_path, "kernel")
+    assert doc["schema"] == 1
+    assert doc["bench"] == "kernel"
+    names = [r["name"] for r in doc["results"]]
+    assert names == ["timer_wheel", "cancel_churn"]
+    for r in doc["results"]:
+        assert r["events"] > 0
+        assert r["wall_seconds"] > 0
+        assert r["events_per_sec"] > 0
+
+
+def test_netsim_bench_counts_packets(tmp_path):
+    doc = run_bench(tmp_path, "netsim")
+    (flood,) = doc["results"]
+    assert flood["name"] == "udp_kv_flood"
+    assert flood["extra"]["packets"] > 0
+    assert flood["extra"]["packets_per_sec"] > 0
+
+
+def test_compare_embeds_baseline_and_speedups(tmp_path, capsys):
+    base = tmp_path / "base.json"
+    rc = main(["kernel", "--scale", "0.02", "--repeat", "1", "--no-alloc",
+               "--out", str(base)])
+    assert rc == 0
+    out = tmp_path / "current.json"
+    rc = main(["kernel", "--scale", "0.02", "--repeat", "1", "--no-alloc",
+               "--compare", str(base), "--out", str(out)])
+    assert rc == 0
+    doc = json.loads(out.read_text())
+    assert "baseline" in doc and "speedup" in doc
+    assert "timer_wheel" in doc["speedup"]
+    assert doc["speedup"]["timer_wheel"]["events_per_sec"] > 0
+
+
+def test_compare_docs_ratios():
+    mk = lambda eps: {"results": [{"name": "w", "events_per_sec": eps,
+                                   "extra": {}}]}
+    ratios = compare_docs(mk(100.0), mk(250.0))
+    assert ratios["w"]["events_per_sec"] == 2.5

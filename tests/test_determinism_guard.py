@@ -1,0 +1,49 @@
+"""Determinism guard: the event timeline is bit-exact across optimizations.
+
+Hashes the full per-component timestamp timeline of a mixed workload (UDP
+KV + TCP bulk + one detailed host) and pins it to a golden digest captured
+before the tuple-heap/pooling kernel rework.  Any hot-path change that
+reorders or retimes even one event — in either execution mode — fails here.
+"""
+
+import hashlib
+
+from repro.bench.workloads import build_mixed_system
+from repro.kernel.simtime import MS
+from repro.orchestration.instantiate import Instantiation
+
+#: SHA-256 over "name:ts,ts,...;" per component (sorted by name), captured
+#: on the pre-optimization kernel for build_mixed_system() run to 2 ms.
+GOLDEN_DIGEST = "141c2979831836787e308a6a0b00dcb51ecee797f2c31a3e79de4fffe58e413b"
+DURATION = 2 * MS
+
+
+def timeline_digest(mode: str) -> str:
+    exp = Instantiation(build_mixed_system(), mode=mode).build()
+    sim = exp.sim
+    lines = {}
+
+    def trace(owner, ts):
+        lines.setdefault(owner.name if owner is not None else "?", []).append(ts)
+
+    sim._wire()
+    if mode == "fast":
+        sim._shared_queue.trace = trace
+        sim._run_fast(DURATION)
+    else:
+        for c in sim.components:
+            c.queue.trace = trace
+        sim._run_strict(DURATION)
+    digest = hashlib.sha256()
+    for name in sorted(lines):
+        digest.update(
+            (name + ":" + ",".join(map(str, lines[name])) + ";").encode())
+    return digest.hexdigest()
+
+
+def test_fast_mode_timeline_matches_golden():
+    assert timeline_digest("fast") == GOLDEN_DIGEST
+
+
+def test_strict_mode_timeline_matches_golden():
+    assert timeline_digest("strict") == GOLDEN_DIGEST

@@ -1,12 +1,23 @@
 """Property-based tests of the synchronization protocol.
 
-The central correctness property of conservative synchronization: for ANY
-workload, executing with the strict per-channel sync protocol produces the
-exact same event timeline as the oracle (fast-mode) execution — blocking
-only ever delays *host* time, never changes simulated behaviour.
+The central correctness property of conservative synchronization: executing
+with the strict per-channel sync protocol produces the exact same event
+timeline as the oracle (fast-mode) execution — blocking only ever delays
+*host* time, never changes simulated behaviour.
+
+Scope of the guarantee: timestamps, per-channel FIFO order, and (via the
+global send-order tie-break in ``ChannelEnd.send`` / ``poll_inputs``)
+per-*sender* order are exact, even across a receiver's multiple input
+channels.  Deliveries with identical stamps from *different* senders are
+concurrent in the PDES sense — no causal order exists, and the fast oracle
+breaks the tie by its global event sequence, which the sync protocol cannot
+observe.  The equality property therefore quantifies over workloads without
+such cross-sender timestamp collisions (``assume`` below discards the rest).
 """
 
-from hypothesis import given, settings, strategies as st
+from itertools import groupby
+
+from hypothesis import HealthCheck, assume, given, settings, strategies as st
 
 from repro.channels.channel import ChannelEnd
 from repro.channels.messages import RawMsg
@@ -87,9 +98,43 @@ def workload(draw):
     return n_comps, scripts, latencies, reply_prob
 
 
+def _has_concurrent_cross_sender_deliveries(logs):
+    """True if any receiver saw equal-timestamp messages from two senders.
+
+    Such deliveries are concurrent — the protocol defines no order between
+    them (see module docstring) — so the exact-equality property does not
+    apply to workloads containing them.
+    """
+    for log in logs:
+        for _ts, run in groupby(log, key=lambda entry: entry[0]):
+            senders = {payload[0] for _, payload in run}
+            if len(senders) > 1:
+                return True
+    return False
+
+
 @given(workload())
-@settings(max_examples=25, deadline=None)
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.filter_too_much])
 def test_strict_sync_equals_oracle_for_any_workload(wl):
+    n_comps, scripts, latencies, reply_prob = wl
+    fast = build_and_run("fast", n_comps, scripts, latencies, reply_prob)
+    assume(not _has_concurrent_cross_sender_deliveries(fast))
+    strict = build_and_run("strict", n_comps, scripts, latencies, reply_prob)
+    assert fast == strict
+
+
+def test_same_stamp_cross_channel_deliveries_match_send_order():
+    """Regression: equal-stamp messages on *different* channels of one
+    receiver must dispatch in send order, not channel attach order.
+
+    With two components the builder wires two channel pairs, so each talker
+    owns two peer ends.  c0's burst makes c1 emit two replies in the same
+    event round at the same time over different ends; both arrive at c0 with
+    identical stamps.  Strict mode used to dispatch them in ``ends`` order
+    (whichever channel was attached first), diverging from the fast oracle.
+    """
+    wl = (2, [[(0, 0), (0, 0), (0, 0), (0, 0)], []], [100_000], 0.3)
     n_comps, scripts, latencies, reply_prob = wl
     fast = build_and_run("fast", n_comps, scripts, latencies, reply_prob)
     strict = build_and_run("strict", n_comps, scripts, latencies, reply_prob)
