@@ -1,0 +1,13 @@
+#!/usr/bin/env python
+"""Tracing-overhead microbenchmark (wrapper for ``splitsim-bench obs``).
+
+Typical use, from the repository root::
+
+    PYTHONPATH=src python benchmarks/perf/bench_obs.py --out BENCH_obs.json
+"""
+import sys
+
+from repro.bench.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main(["obs", *sys.argv[1:]]))

@@ -1,0 +1,37 @@
+"""Guard: the observability layer is free when tracing is disabled.
+
+Compares a fresh untraced ``splitsim-bench kernel`` run against the
+committed PR-1 baseline (``BENCH_kernel.json``).  The tracer hooks in the
+event-queue drain are a cached ``None``-check on the untraced path, so
+events/sec must stay within 5% of the pre-observability numbers.
+
+Not part of the tier-1 suite (timing-sensitive); runs with the rest of
+``pytest benchmarks/``.
+"""
+
+import json
+from pathlib import Path
+
+from repro.bench.cli import _run_kernel
+
+BASELINE = Path(__file__).resolve().parent / "BENCH_kernel.json"
+
+#: Allowed throughput regression vs the committed PR-1 baseline.
+MAX_REGRESSION = 0.05
+ATTEMPTS = 3
+
+
+def test_tracing_disabled_kernel_overhead_within_bound():
+    baseline = {r["name"]: r["events_per_sec"]
+                for r in json.loads(BASELINE.read_text())["results"]}
+    worst = {}
+    for _ in range(ATTEMPTS):  # best-of to shrug off scheduler noise
+        results = _run_kernel(scale=1.0, repeat=3, trace_alloc=False)
+        ratios = {r.name: r.events_per_sec / baseline[r.name]
+                  for r in results}
+        worst = {n: max(worst.get(n, 0.0), v) for n, v in ratios.items()}
+        if all(v >= 1.0 - MAX_REGRESSION for v in worst.values()):
+            break
+    assert all(v >= 1.0 - MAX_REGRESSION for v in worst.values()), (
+        f"untraced kernel throughput regressed beyond "
+        f"{MAX_REGRESSION:.0%}: {worst}")

@@ -40,6 +40,7 @@ from .parallel.model import ModelChannel, ModelResult, ParallelExecutionModel
 from .parallel.costmodel import Machine, PAPER_MACHINE
 from .orchestration.system import System
 from .orchestration.instantiate import Experiment, Instantiation
+from .obs import MetricsRegistry, Tracer, install_tracer
 
 __version__ = "1.0.0"
 
@@ -51,5 +52,6 @@ __all__ = [
     "ModelChannel", "ModelResult", "ParallelExecutionModel",
     "Machine", "PAPER_MACHINE",
     "System", "Instantiation", "Experiment",
+    "Tracer", "MetricsRegistry", "install_tracer",
     "__version__",
 ]

@@ -106,9 +106,44 @@ def _run_strict(scale: float, repeat: int, trace_alloc: bool) -> List[BenchResul
     ]
 
 
+def _run_obs(scale: float, repeat: int, trace_alloc: bool) -> List[BenchResult]:
+    """Tracing cost: the strict mixed workload untraced vs flight-recorded.
+
+    Both variants run the identical event timeline (the determinism guard
+    pins this); the traced one additionally streams kernel drains, strict
+    counter samples and netsim busy/drop records into the bounded ring.
+    """
+    duration = max(1, int(1 * MS * scale))
+
+    def variant(traced: bool):
+        def workload():
+            from ..orchestration.instantiate import Instantiation
+            exp = Instantiation(build_mixed_system(), mode="strict",
+                                trace=traced).build()
+            state: Dict[str, int] = {}
+
+            def run():
+                result = exp.run(duration)
+                state["events"] = result.stats.events
+                if traced:
+                    state["trace_records"] = len(exp.tracer)
+                    state["trace_dropped"] = exp.tracer.dropped
+
+            return run, lambda: dict(state)
+        return workload
+
+    return [
+        measure("strict_mixed_untraced", {"duration_ps": duration},
+                variant(False), repeat=repeat, trace_alloc=trace_alloc),
+        measure("strict_mixed_traced", {"duration_ps": duration},
+                variant(True), repeat=repeat, trace_alloc=trace_alloc),
+    ]
+
+
 RUNNERS = {
     "kernel": _run_kernel,
     "netsim": _run_netsim,
+    "obs": _run_obs,
     "strict": _run_strict,
 }
 

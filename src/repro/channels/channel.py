@@ -215,6 +215,27 @@ class ChannelEnd:
             "rx_cycles": self.rx_cycles,
         }
 
+    # -- observability ----------------------------------------------------
+
+    def obs_sample(self, tracer, tid: int, ts_us: float,
+                   comp_name: str) -> None:
+        """Emit one cumulative counter-track sample of this end.
+
+        The track name encodes the edge (``chan|comp|end|peer``) so that
+        ``splitsim-inspect`` can reconstruct per-edge wait data — and the
+        WTPG — from the trace alone.  Called from the strict coordinator's
+        sampling hook and from multiprocess children at heartbeat times;
+        never from the per-message hot path.
+        """
+        tracer.counter(
+            tid, "channel",
+            f"chan|{comp_name}|{self.name}|{self.peer_comp_name or self.peer_name}",
+            ts_us,
+            {"tx_msgs": self.tx_msgs, "rx_msgs": self.rx_msgs,
+             "tx_syncs": self.tx_syncs, "rx_syncs": self.rx_syncs,
+             "wait_cycles": self.wait_cycles, "wait_polls": self.wait_polls,
+             "tx_cycles": self.tx_cycles, "rx_cycles": self.rx_cycles})
+
 
 def connect(end_a: ChannelEnd, end_b: ChannelEnd,
             queue_factory: Callable[[], object] = FifoQueue) -> None:

@@ -82,6 +82,12 @@ class EventQueue:
         #: optional per-executed-event hook ``trace(owner, ts)`` — used by
         #: the determinism guard; ``None`` costs one pointer test per event.
         self.trace: Optional[Callable[[Any, int], None]] = None
+        #: observability hook: ``None`` (tracing disabled; one pointer test
+        #: per *drain*) or a ``(Tracer, tid)`` pair installed by
+        #: :mod:`repro.obs.install`.  The traced drain emits one span per
+        #: drain plus sampled queue-health counter tracks; it never changes
+        #: event order, so the determinism guard holds with tracing on.
+        self.obs: Optional[tuple] = None
         # -- lifetime statistics (surfaced through SimStats) --
         self.peak_heap = 0
         self.allocations = 0  # fresh Event objects constructed
@@ -250,6 +256,9 @@ class EventQueue:
         component (the coordinator and :meth:`Component.advance` guarantee
         this); ownerless events are executed without accounting.
         """
+        obs = self.obs
+        if obs is not None:
+            return self._run_until_traced(until_ps, obs)
         heap = self._heap
         pop = heapq.heappop
         pool = self._pool
@@ -294,6 +303,67 @@ class EventQueue:
         # only meaningful at drain boundaries (nothing reads it mid-drain)
         self._live -= steps
         self.executed += steps
+        return steps
+
+    def _run_until_traced(self, until_ps: int, obs: tuple) -> int:
+        """Traced mirror of :meth:`run_until` (identical event order).
+
+        Duplicated rather than branch-instrumented so the untraced drain
+        pays nothing per event.  Emits one ``kernel.drain`` span covering
+        the drained interval and, every 8192 events, a queue-health counter
+        sample (heap depth, free-list size).
+        """
+        tracer, tid = obs
+        counter = tracer.counter
+        heap = self._heap
+        pop = heapq.heappop
+        pool = self._pool
+        trace = self.trace
+        steps = 0
+        first_ts = -1
+        last_ts = 0
+        while heap:
+            entry = pop(heap)
+            ev = entry[2]
+            if ev.cancelled:
+                ev.fn = _released
+                ev.args = ()
+                ev.owner = None
+                pool.append(ev)
+                continue
+            ts = entry[0]
+            if ts > until_ps:
+                heapq.heappush(heap, entry)
+                break
+            if first_ts < 0:
+                first_ts = ts
+            last_ts = ts
+            steps += 1
+            if not steps & 8191:
+                counter(tid, "kernel", "kernel.queue", ts / 1_000_000,
+                        {"heap": len(heap), "pool": len(pool)})
+            owner = ev.owner
+            if owner is not None:
+                owner.now = ts
+                owner.events_processed += 1
+                cycles = owner.cycles_per_event
+                owner.work_cycles += cycles
+                recorder = owner.recorder
+                if recorder is not None:
+                    recorder.note_work(owner.name, ts, cycles)
+            if trace is not None:
+                trace(owner, ts)
+            ev.fn(*ev.args)
+            ev.fn = _released
+            ev.args = ()
+            ev.cancelled = True
+            pool.append(ev)
+        self._live -= steps
+        self.executed += steps
+        if steps:
+            start_us = first_ts / 1_000_000
+            tracer.span(tid, "kernel", "drain", start_us,
+                        last_ts / 1_000_000 - start_us, {"events": steps})
         return steps
 
     # -- statistics --------------------------------------------------------

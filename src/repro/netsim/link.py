@@ -49,7 +49,8 @@ class LinkDirection:
 
     def __init__(self, net: "NetworkSim", bandwidth_bps: float, latency_ps: int,
                  queue: DropTailQueue,
-                 deliver: Callable[[Packet], None]) -> None:
+                 deliver: Callable[[Packet], None],
+                 label: str = "") -> None:
         if bandwidth_bps <= 0:
             raise ValueError("bandwidth must be positive")
         self.net = net
@@ -66,18 +67,51 @@ class LinkDirection:
         self.on_tx_start: Optional[Callable[[Packet, int], None]] = None
         self.tx_packets = 0
         self.tx_bytes = 0
+        #: direction label for observability tracks ("src->dst")
+        self.label = label
+        #: ``None`` (tracing off; one pointer test per packet) or a
+        #: ``(Tracer, tid)`` pair — emits busy-period spans and sampled
+        #: queue-depth counter tracks.
+        self.obs: Optional[tuple] = None
+        self._busy_since = 0
+        self._busy_pkts = 0
 
     def transmit(self, pkt: Packet) -> None:
         """Entry point: queue the packet and start the line if idle."""
         if not self.queue.enqueue(pkt):
+            obs = self.obs
+            if obs is not None:
+                tracer, tid = obs
+                tracer.instant(tid, "netsim", f"drop|{self.label}",
+                               self.net.now / 1_000_000,
+                               {"dropped": self.queue.stats.dropped})
             return  # dropped (counted by the queue)
         if not self.busy:
+            obs = self.obs
+            if obs is not None:
+                self._busy_since = self.net.now
+                self._busy_pkts = self.tx_packets
             self._tx_next()
 
     def _tx_next(self) -> None:
         pkt = self.queue.dequeue()
         if pkt is None:
             self.busy = False
+            obs = self.obs
+            if obs is not None:
+                tracer, tid = obs
+                now = self.net.now
+                start_us = self._busy_since / 1_000_000
+                tracer.span(tid, "netsim", f"busy|{self.label}", start_us,
+                            now / 1_000_000 - start_us,
+                            {"pkts": self.tx_packets - self._busy_pkts})
+                queue = self.queue
+                tracer.counter(tid, "netsim", f"q|{self.label}",
+                               now / 1_000_000,
+                               {"depth_pkts": len(queue),
+                                "depth_bytes": queue.bytes_queued,
+                                "dropped": queue.stats.dropped,
+                                "ecn_marked": queue.stats.ecn_marked})
             return
         self.busy = True
         net = self.net
@@ -92,6 +126,17 @@ class LinkDirection:
         self.tx_packets += 1
         self.tx_bytes += pkt.size_bytes
         pkt.hops += 1
+        obs = self.obs
+        if obs is not None and not self.tx_packets & 63:
+            # periodic in-busy-period depth sample (every 64th packet)
+            tracer, tid = obs
+            queue = self.queue
+            tracer.counter(tid, "netsim", f"q|{self.label}",
+                           self.net.now / 1_000_000,
+                           {"depth_pkts": len(queue),
+                            "depth_bytes": queue.bytes_queued,
+                            "dropped": queue.stats.dropped,
+                            "ecn_marked": queue.stats.ecn_marked})
         if self.latency_ps > 0:
             net = self.net
             net._schedule_at(net, net.now + self.latency_ps, self.deliver, pkt)
@@ -110,10 +155,12 @@ class Link:
         self.port_b = port_b
         self.dir_ab = LinkDirection(
             net, bandwidth_bps, latency_ps, queue_a,
-            lambda pkt: port_b.node.receive(pkt, port_b))
+            lambda pkt: port_b.node.receive(pkt, port_b),
+            label=f"{port_a.node.name}->{port_b.node.name}")
         self.dir_ba = LinkDirection(
             net, bandwidth_bps, latency_ps, queue_b,
-            lambda pkt: port_a.node.receive(pkt, port_a))
+            lambda pkt: port_a.node.receive(pkt, port_a),
+            label=f"{port_b.node.name}->{port_a.node.name}")
         port_a.egress = self.dir_ab
         port_b.egress = self.dir_ba
         port_a.peer = port_b
@@ -131,7 +178,8 @@ class ExternalLink:
     def __init__(self, net: "NetworkSim", port: Port, bandwidth_bps: float,
                  queue: DropTailQueue, send_fn: Callable[[Packet], None]) -> None:
         self.direction = LinkDirection(net, bandwidth_bps, 0, queue,
-                                       lambda pkt: send_fn(pkt))
+                                       lambda pkt: send_fn(pkt),
+                                       label=f"{port.node.name}->ext")
         port.egress = self.direction
         port.peer = None
         self.port = port

@@ -1,0 +1,43 @@
+"""Unified observability layer: tracing, metrics, and run telemetry.
+
+This package is the substrate the ROADMAP's performance/robustness work
+measures against.  It has four pieces:
+
+* :mod:`repro.obs.trace` — the structured tracing core: a bounded
+  flight-recorder :class:`Tracer` with span/instant/counter records and
+  Chrome-trace/Perfetto + JSONL export.  Compiled out to a ``None``-check
+  when disabled.
+* :mod:`repro.obs.metrics` — :class:`Counter`/:class:`Gauge`/
+  :class:`Histogram` and the :class:`MetricsRegistry` that unifies the
+  simulator's scattered counters behind one snapshot API
+  (``subsystem.component.metric`` naming).
+* :mod:`repro.obs.install` — attaches a tracer to the instrumentation
+  points threaded through kernel, channels, netsim, parallel, and
+  orchestration.
+* :mod:`repro.obs.telemetry` — live multiprocess heartbeats and the
+  versioned ``run_report.json``.
+
+The ``splitsim-inspect`` CLI (:mod:`repro.obs.inspect_cli`) consumes the
+exported traces: top spans, stall timeline, per-edge wait histograms, and a
+WTPG reconstructed from trace data.
+"""
+
+from .metrics import (Counter, Gauge, Histogram, METRICS_SCHEMA,
+                      MetricsRegistry, collect_experiment, collect_simulation)
+from .telemetry import (Heartbeat, RUN_REPORT_SCHEMA, TelemetryAggregator,
+                        build_run_report, write_run_report)
+from .trace import (ORCH_PID, PhaseClock, TRACE_SCHEMA, Tracer, chrome_doc,
+                    load_trace, us_from_ps, validate_chrome_doc)
+from .install import (install_component_tracer, install_network_tracer,
+                      install_tracer, wire_tracer)
+
+__all__ = [
+    "Tracer", "PhaseClock", "chrome_doc", "load_trace", "us_from_ps",
+    "validate_chrome_doc", "TRACE_SCHEMA", "ORCH_PID",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "METRICS_SCHEMA",
+    "collect_simulation", "collect_experiment",
+    "install_tracer", "wire_tracer", "install_component_tracer",
+    "install_network_tracer",
+    "Heartbeat", "TelemetryAggregator", "build_run_report",
+    "write_run_report", "RUN_REPORT_SCHEMA",
+]

@@ -1,0 +1,284 @@
+"""``splitsim-inspect``: summarize a SplitSim trace from the command line.
+
+Where ``splitsim-profile`` post-processes *counter logs*, this tool works on
+the structured traces written by ``splitsim-run --trace`` (or the
+multiprocess runner's ``trace_dir``)::
+
+    splitsim-inspect trace.json
+    splitsim-inspect trace.json --dot wtpg.dot --json summary.json
+
+It reports:
+
+* **top spans** — where simulated/wall time went (kernel drains, link busy
+  periods, waits), ranked by total duration;
+* **stall timeline** — when each simulator was blocked on synchronization;
+* **per-edge wait histogram** — distribution of wait increments per channel
+  direction (exponential buckets);
+* **WTPG** — the wait-time profile graph reconstructed from trace data
+  (``comp|``/``chan|`` tracks), rather than from separate counter logs.
+  The bottleneck ranking matches :mod:`repro.profiler` on the same run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional, Tuple
+
+from ..profiler.postprocess import (AdapterMetrics, ComponentMetrics,
+                                    ProfileAnalysis)
+from ..profiler.wtpg import build_wtpg, save_dot, to_text
+from .metrics import Histogram
+from .trace import load_trace, validate_chrome_doc
+
+
+# -- trace -> profile analysis ------------------------------------------------
+
+def _counter_series(events: List[dict], prefix: str) -> Dict[str, List[dict]]:
+    """Counter samples grouped by full track name, each sorted by ts."""
+    series: Dict[str, List[dict]] = {}
+    for ev in events:
+        if ev.get("ph") == "C" and ev.get("name", "").startswith(prefix):
+            series.setdefault(ev["name"], []).append(ev)
+    for samples in series.values():
+        samples.sort(key=lambda e: e["ts"])
+    return series
+
+
+def analysis_from_trace(doc: dict) -> ProfileAnalysis:
+    """Reconstruct a :class:`ProfileAnalysis` from trace counter tracks.
+
+    Uses the cumulative ``comp|<name>`` (events, work cycles) and
+    ``chan|<comp>|<end>|<peer>`` (wait/tx/rx cycles) tracks emitted by the
+    strict coordinator and the multiprocess children.  Differencing last
+    minus first sample mirrors :func:`repro.profiler.postprocess.analyze`,
+    so wait fractions — and therefore the bottleneck ranking — agree with
+    the counter-based profiler on the same run.
+    """
+    events = doc.get("traceEvents", [])
+    comps: Dict[str, ComponentMetrics] = {}
+    edge_wait: Dict[Tuple[str, str], float] = {}
+
+    for name, samples in _counter_series(events, "comp|").items():
+        comp = name.split("|", 1)[1]
+        first, last = samples[0]["args"], samples[-1]["args"]
+        cm = comps.setdefault(comp, ComponentMetrics(comp=comp))
+        cm.work_cycles = last.get("work_cycles", 0.0) - first.get("work_cycles", 0.0)
+        cm.wall_ns = (samples[-1]["ts"] - samples[0]["ts"]) * 1e3
+
+    chan_series = _counter_series(events, "chan|")
+    for name, samples in chan_series.items():
+        parts = name.split("|")
+        if len(parts) != 4:
+            continue
+        _, comp, end_name, peer = parts
+        first, last = samples[0]["args"], samples[-1]["args"]
+
+        def diff(key: str) -> float:
+            return last.get(key, 0.0) - first.get(key, 0.0)
+
+        am = AdapterMetrics(
+            comp=comp, adapter=end_name, peer=peer,
+            wall_ns=(samples[-1]["ts"] - samples[0]["ts"]) * 1e3,
+            wait_cycles=diff("wait_cycles"),
+            tx_cycles=diff("tx_cycles"), rx_cycles=diff("rx_cycles"),
+            tx_msgs=int(diff("tx_msgs")), rx_msgs=int(diff("rx_msgs")),
+            tx_syncs=int(diff("tx_syncs")), rx_syncs=int(diff("rx_syncs")),
+        )
+        cm = comps.setdefault(comp, ComponentMetrics(comp=comp))
+        cm.adapters.append(am)
+        cm.wait_cycles += am.wait_cycles
+        cm.comm_cycles += am.comm_cycles
+
+    for comp, cm in comps.items():
+        total = cm.accounted_cycles
+        for am in cm.adapters:
+            if total > 0 and am.peer:
+                key = (comp, am.peer)
+                edge_wait[key] = edge_wait.get(key, 0.0) + am.wait_cycles / total
+
+    wall_ns = max((cm.wall_ns for cm in comps.values()), default=0.0)
+    return ProfileAnalysis(
+        sim_speed=0.0, wall_seconds=wall_ns / 1e9, sim_seconds=0.0,
+        components=comps, edge_wait_fraction=edge_wait)
+
+
+# -- span / stall summaries ---------------------------------------------------
+
+def top_spans(events: List[dict], top: int = 10) -> List[dict]:
+    """Spans grouped by base name, ranked by total duration."""
+    agg: Dict[str, dict] = {}
+    for ev in events:
+        if ev.get("ph") != "X":
+            continue
+        name = ev["name"].split("|", 1)[0]
+        cat = ev.get("cat", "")
+        entry = agg.setdefault(f"{cat}/{name}", {
+            "name": f"{cat}/{name}", "count": 0,
+            "total_us": 0.0, "max_us": 0.0})
+        dur = ev.get("dur", 0.0)
+        entry["count"] += 1
+        entry["total_us"] += dur
+        if dur > entry["max_us"]:
+            entry["max_us"] = dur
+    ranked = sorted(agg.values(), key=lambda e: -e["total_us"])
+    return ranked[:top]
+
+
+def stall_points(events: List[dict]) -> List[Tuple[str, float]]:
+    """(component, ts_us) stall observations from instants and wait spans."""
+    points: List[Tuple[str, float]] = []
+    for ev in events:
+        name = ev.get("name", "")
+        if ev.get("ph") == "i" and name.startswith("stall|"):
+            points.append((name.split("|", 1)[1], ev["ts"]))
+        elif ev.get("ph") == "X" and name.startswith("wait|"):
+            points.append((name.split("|")[1], ev["ts"]))
+    return points
+
+
+def stall_timeline(events: List[dict], buckets: int = 48) -> str:
+    """Per-component text timeline of synchronization stalls."""
+    points = stall_points(events)
+    if not points:
+        return "  (no stalls recorded)"
+    t_lo = min(ts for _, ts in points)
+    t_hi = max(ts for _, ts in points)
+    width = max(t_hi - t_lo, 1e-9)
+    per_comp: Dict[str, List[int]] = {}
+    for comp, ts in points:
+        row = per_comp.setdefault(comp, [0] * buckets)
+        idx = min(buckets - 1, int((ts - t_lo) / width * buckets))
+        row[idx] += 1
+    peak = max(max(row) for row in per_comp.values())
+    glyphs = " .:*#"
+    lines = []
+    for comp in sorted(per_comp):
+        row = per_comp[comp]
+        bar = "".join(
+            glyphs[min(len(glyphs) - 1,
+                       (c * (len(glyphs) - 1) + peak - 1) // peak)]
+            for c in row)
+        lines.append(f"  {comp:<24} |{bar}|")
+    lines.append(f"  {'':<24}  {t_lo:.1f}us .. {t_hi:.1f}us "
+                 f"(peak {peak} stalls/bucket)")
+    return "\n".join(lines)
+
+
+def edge_wait_histograms(doc: dict) -> Dict[str, Histogram]:
+    """Per channel-direction histograms of wait-cycle increments."""
+    events = doc.get("traceEvents", [])
+    out: Dict[str, Histogram] = {}
+    for name, samples in _counter_series(events, "chan|").items():
+        parts = name.split("|")
+        if len(parts) != 4:
+            continue
+        edge = f"{parts[1]} -> {parts[3]}"
+        hist = out.setdefault(edge, Histogram(edge, start=1.0, factor=4.0,
+                                              buckets=16))
+        prev = 0.0
+        for sample in samples:
+            cur = sample["args"].get("wait_cycles", 0.0)
+            delta = cur - prev
+            prev = cur
+            if delta > 0:
+                hist.observe(delta)
+    return out
+
+
+# -- CLI ----------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="splitsim-inspect",
+        description="Summarize a SplitSim trace: top spans, stall timeline, "
+                    "per-edge wait histograms, and the trace-derived WTPG.")
+    parser.add_argument("trace", help="Chrome-trace JSON or JSONL file")
+    parser.add_argument("--top", type=int, default=10,
+                        help="span groups to list (default 10)")
+    parser.add_argument("--buckets", type=int, default=48,
+                        help="stall-timeline width in buckets")
+    parser.add_argument("--dot", metavar="PATH",
+                        help="write the trace-derived WTPG as Graphviz DOT")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the machine-readable summary as JSON")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    try:
+        return _main(argv)
+    except BrokenPipeError:  # e.g. piped into head
+        return 0
+
+
+def _main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        doc = load_trace(args.trace)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error reading {args.trace}: {exc}", file=sys.stderr)
+        return 1
+    problems = validate_chrome_doc(doc)
+    if problems:
+        print(f"error: {args.trace} is not a valid trace: "
+              f"{problems[0]} (+{len(problems) - 1} more)" if len(problems) > 1
+              else f"error: {args.trace} is not a valid trace: {problems[0]}",
+              file=sys.stderr)
+        return 1
+    events = doc.get("traceEvents", [])
+    meta = doc.get("otherData", {})
+    print(f"{args.trace}: {len(events)} events, schema "
+          f"{meta.get('schema', '?')}, clocks {meta.get('clock_domains', {})}"
+          f", dropped {meta.get('dropped_records', 0)}")
+
+    spans = top_spans(events, top=args.top)
+    print("\ntop spans (by total duration):")
+    if spans:
+        for entry in spans:
+            print(f"  {entry['name']:<28} n={entry['count']:<8} "
+                  f"total={entry['total_us']:>12.1f}us "
+                  f"max={entry['max_us']:.1f}us")
+    else:
+        print("  (no spans recorded)")
+
+    print("\nstall timeline:")
+    print(stall_timeline(events, buckets=args.buckets))
+
+    hists = edge_wait_histograms(doc)
+    print("\nper-edge wait histogram (cycle increments per sample):")
+    if hists:
+        for edge in sorted(hists):
+            h = hists[edge]
+            print(f"  {edge:<32} n={h.count:<6} mean={h.mean:,.0f} "
+                  f"p95={h.quantile(0.95):,.0f} max={h.max:,.0f}")
+    else:
+        print("  (no channel tracks recorded)")
+
+    analysis = analysis_from_trace(doc)
+    summary: dict = {"top_spans": spans, "edges": {}, "bottlenecks": []}
+    if analysis.components:
+        graph = build_wtpg(analysis)
+        print()
+        print(to_text(graph, title="wait-time profile (from trace)"))
+        ranking = analysis.bottlenecks(len(analysis.components))
+        print("\nbottleneck ranking:", ", ".join(ranking))
+        summary["bottlenecks"] = ranking
+        summary["edges"] = {f"{src}->{dst}": frac for (src, dst), frac
+                            in sorted(analysis.edge_wait_fraction.items())}
+        if args.dot:
+            save_dot(graph, args.dot, title="SplitSim WTPG (trace)")
+            print(f"wrote {args.dot}")
+    elif args.dot:
+        print("no component tracks in trace; skipping --dot", file=sys.stderr)
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(summary, fh, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,100 @@
+"""Wiring a :class:`~repro.obs.trace.Tracer` through a simulation.
+
+Instrumentation points live in the layers themselves (kernel drain spans,
+channel counter tracks, link busy periods, strict-round stall sampling);
+this module only *attaches* a tracer to them.  Every instrumented site
+holds a plain attribute that is ``None`` when tracing is off, so the
+disabled hot path pays at most one pointer test.
+
+Call :func:`install_tracer` on a :class:`~repro.parallel.simulation.Simulation`
+before it runs; the simulation finishes the wiring (queues are swapped in
+fast mode, externals are bound late) by calling :func:`wire_tracer` from
+``Simulation._wire``.
+"""
+
+from __future__ import annotations
+
+from .trace import Tracer, us_from_ps
+
+
+def install_tracer(sim, tracer: Tracer, counter_interval_rounds: int = 64) -> Tracer:
+    """Attach ``tracer`` to a simulation (before :meth:`Simulation.run`).
+
+    ``counter_interval_rounds`` sets how often the strict coordinator
+    samples per-component/per-channel counter tracks.
+    """
+    if counter_interval_rounds <= 0:
+        raise ValueError("counter interval must be positive")
+    sim.obs = tracer
+    sim.obs_interval = counter_interval_rounds
+    if getattr(sim, "_wired", False):
+        wire_tracer(sim)
+    return sim.obs
+
+
+def wire_tracer(sim) -> None:
+    """Finish tracer wiring once queues/channels exist (post ``_wire``).
+
+    * strict mode: one kernel-drain track per component queue;
+    * fast mode: all components share one queue, hence one ``kernel`` track;
+    * network partitions additionally get per-link-direction busy tracks.
+    """
+    tracer = sim.obs
+    if tracer is None:
+        return
+    for comp in sim.components:
+        tid_name = comp.name if sim.mode == "strict" else "kernel"
+        comp.queue.obs = (tracer, tracer.tid(tid_name))
+        if getattr(comp, "links", None) is not None:
+            install_network_tracer(comp, tracer)
+
+
+def install_network_tracer(net, tracer: Tracer) -> None:
+    """Attach busy-period/queue tracks to every link direction of ``net``."""
+    for link in net.links:
+        for direction in (link.dir_ab, link.dir_ba):
+            direction.obs = (tracer, tracer.tid(f"link:{direction.label}"))
+    for att in net.externals.values():
+        direction = att.ext.direction
+        direction.obs = (tracer, tracer.tid(f"link:{direction.label}"))
+
+
+def install_component_tracer(comp, tracer: Tracer) -> None:
+    """Attach a sim-domain tracer to one standalone component.
+
+    For components driven outside a :class:`Simulation` (unit tests, custom
+    drivers).  The multiprocess runner does *not* use this — its children
+    trace waits/heartbeats in the wall domain (see
+    :mod:`repro.parallel.procrunner`) so kernel drains aren't flooded into
+    the bounded ring.
+    """
+    comp.queue.obs = (tracer, tracer.tid(comp.name))
+    if getattr(comp, "links", None) is not None:
+        install_network_tracer(comp, tracer)
+
+
+def sample_strict_round(sim, tracer: Tracer, rounds: int, until_ps: int) -> None:
+    """One counter-track/stall sample of every component (strict mode).
+
+    Emits, per component, a cumulative ``comp|<name>`` counter sample
+    (events, work cycles) and one ``chan|...`` sample per channel end; for
+    components currently blocked below ``until_ps``, a ``sync.stall``
+    instant records who they are waiting on — the raw material for
+    ``splitsim-inspect``'s stall timeline and trace-based WTPG.
+    """
+    for comp in sim.components:
+        tid = tracer.tid(comp.name)
+        ts = us_from_ps(comp.now)
+        tracer.counter(tid, "comp", f"comp|{comp.name}", ts, {
+            "events": comp.events_processed,
+            "work_cycles": comp.work_cycles,
+        })
+        for end in comp.ends:
+            end.obs_sample(tracer, tid, ts, comp.name)
+        if comp.now < until_ps:
+            blocking = comp.blocking_ends()
+            if blocking:
+                tracer.instant(tid, "sync", f"stall|{comp.name}", ts, {
+                    "on": [e.peer_comp_name or e.peer_name for e in blocking],
+                    "round": rounds,
+                })

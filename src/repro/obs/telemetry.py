@@ -1,0 +1,109 @@
+"""Live telemetry for multiprocess runs: heartbeats and the run report.
+
+While a :class:`~repro.parallel.procrunner.ProcessRunner` simulation is
+alive, each child process periodically publishes a :class:`Heartbeat` —
+simulated time reached, events executed, instantaneous events/sec, and
+shared-memory ring occupancy — over a side-channel queue.  The parent
+renders a one-line status (``progress=True``) and, after the run, writes a
+versioned machine-readable ``run_report.json``.
+
+The report schema is versioned by :data:`RUN_REPORT_SCHEMA`; consumers must
+check it.  Version history:
+
+* ``1`` — initial: ``schema``, ``until_ps``, ``wall_seconds``,
+  ``components`` (per-child events/wall/wait/work/outputs), ``heartbeats``
+  (bounded history), ``trace`` (relative path of the merged Chrome trace,
+  or ``null``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+from ..kernel.simtime import fmt_time
+
+#: Schema version of ``run_report.json``.
+RUN_REPORT_SCHEMA = 1
+
+#: Parent-side cap on retained heartbeat history (oldest dropped first).
+MAX_HEARTBEATS = 4096
+
+
+@dataclass
+class Heartbeat:
+    """One liveness sample from a child simulator process."""
+
+    comp: str
+    wall_s: float          # child wall-clock seconds since its run started
+    sim_ps: int            # simulated time reached (last commit)
+    events: int            # events executed so far
+    events_per_sec: float  # instantaneous rate since the previous beat
+    ring_fill: float       # max input-ring occupancy across ends, 0..1
+    waiting: bool = False  # currently blocked on a channel
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+class TelemetryAggregator:
+    """Parent-side view over the heartbeat stream of all children."""
+
+    def __init__(self, components: List[str],
+                 max_history: int = MAX_HEARTBEATS) -> None:
+        self.latest: Dict[str, Heartbeat] = {}
+        self.history: List[dict] = []
+        self._components = list(components)
+        self._max_history = max_history
+
+    def note(self, hb: Heartbeat) -> None:
+        """Record one heartbeat."""
+        self.latest[hb.comp] = hb
+        if len(self.history) < self._max_history:
+            self.history.append(hb.to_dict())
+
+    def status_line(self) -> str:
+        """One-line live status across all components."""
+        parts = []
+        for name in self._components:
+            hb = self.latest.get(name)
+            if hb is None:
+                parts.append(f"{name}: starting")
+                continue
+            flag = "~" if hb.waiting else ""
+            parts.append(
+                f"{name}: {fmt_time(hb.sim_ps)} {hb.events_per_sec:,.0f}ev/s "
+                f"ring {hb.ring_fill:.0%}{flag}")
+        return " | ".join(parts)
+
+
+def build_run_report(until_ps: int, wall_seconds: float, results: dict,
+                     aggregator: Optional[TelemetryAggregator] = None,
+                     trace: Optional[str] = None) -> dict:
+    """Assemble the versioned ``run_report.json`` document."""
+    components = {}
+    for name, res in sorted(results.items()):
+        components[name] = {
+            "events": res.events,
+            "wall_seconds": res.wall_seconds,
+            "wait_seconds": res.wait_seconds,
+            "work_cycles": res.work_cycles,
+            "error": res.error,
+            "outputs": res.outputs,
+        }
+    return {
+        "schema": RUN_REPORT_SCHEMA,
+        "until_ps": until_ps,
+        "wall_seconds": wall_seconds,
+        "components": components,
+        "heartbeats": aggregator.history if aggregator is not None else [],
+        "trace": trace,
+    }
+
+
+def write_run_report(path: str, report: dict) -> None:
+    """Write the report (pretty-printed, trailing newline)."""
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, default=str)
+        fh.write("\n")

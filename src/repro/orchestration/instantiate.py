@@ -68,6 +68,12 @@ class Experiment:
         self.model_channels = model_channels
         #: set when the instantiation enabled profiling
         self.sampler = None
+        #: sim-domain tracer (set by :meth:`enable_tracing`)
+        self.tracer = None
+        #: wall-domain tracer carrying orchestration phase spans (ORCH_PID)
+        self.phase_tracer = None
+        #: :class:`~repro.obs.trace.PhaseClock` over ``phase_tracer``
+        self.phases = None
 
     # -- conveniences ------------------------------------------------------------
 
@@ -104,9 +110,61 @@ class Experiment:
 
     # -- execution -------------------------------------------------------------------
 
+    def enable_tracing(self, capacity: int = 1 << 16,
+                       interval_rounds: int = 64):
+        """Attach the observability layer to this experiment.
+
+        Creates a sim-domain :class:`~repro.obs.trace.Tracer` over the
+        simulation (kernel drains, channel counter tracks, link busy
+        periods, strict-round stalls) plus a wall-domain phase tracer on
+        the dedicated orchestrator pid.  Call before :meth:`run`; export
+        afterwards with :meth:`save_trace`.  Returns the sim tracer.
+        """
+        from ..obs.install import install_tracer
+        from ..obs.trace import ORCH_PID, PhaseClock, Tracer
+        if self.tracer is None:
+            self.tracer = Tracer(capacity=capacity, pid=1,
+                                 process_name="simulation", clock="sim")
+            install_tracer(self.sim, self.tracer, interval_rounds)
+        if self.phase_tracer is None:
+            self.phase_tracer = Tracer(pid=ORCH_PID,
+                                       process_name="orchestration",
+                                       clock="wall")
+            self.phases = PhaseClock(self.phase_tracer)
+        return self.tracer
+
+    def save_trace(self, path: str, extra_meta: Optional[dict] = None) -> dict:
+        """Write the merged Chrome-trace document; returns the document."""
+        if self.tracer is None:
+            raise RuntimeError("enable_tracing() before running "
+                               "to collect a trace")
+        import json
+        from ..obs.trace import chrome_doc
+        tracers = [self.tracer]
+        if self.phase_tracer is not None:
+            tr = self.phase_tracer
+            tr.instant(tr.tid("phases"), "phase", "teardown", tr.wall_us())
+            tracers.append(tr)
+        meta = {"mode": self.sim.mode}
+        if extra_meta:
+            meta.update(extra_meta)
+        doc = chrome_doc(tracers, extra_meta=meta)
+        with open(path, "w") as fh:
+            json.dump(doc, fh, separators=(",", ":"))
+        return doc
+
+    def metrics(self, stats: Optional[SimStats] = None):
+        """Unified metrics snapshot registry for this experiment."""
+        from ..obs.metrics import collect_experiment
+        return collect_experiment(self, stats=stats)
+
     def run(self, duration_ps: int) -> ExperimentResult:
         """Run the assembled simulation to ``duration_ps``."""
-        stats = self.sim.run(duration_ps)
+        if self.phases is not None:
+            with self.phases("run"):
+                stats = self.sim.run(duration_ps)
+        else:
+            stats = self.sim.run(duration_ps)
         return ExperimentResult(stats=stats, experiment=self)
 
     def profile_analysis(self, drop_head: int = 1,
@@ -118,13 +176,19 @@ class Experiment:
         return analyze(self.sampler.log, drop_head=drop_head,
                        drop_tail=drop_tail)
 
-    def run_mp(self, duration_ps: int, timeout_s: float = 300.0):
+    def run_mp(self, duration_ps: int, timeout_s: float = 300.0, *,
+               progress: bool = False, report_path: Optional[str] = None,
+               trace_dir: Optional[str] = None,
+               hb_interval_s: float = 0.25):
         """Run this experiment with one OS process per component simulator.
 
         This is the paper's actual deployment (shared-memory channels,
         busy-poll synchronization).  Components are inherited via fork, so
         the experiment must not have been run in-process already.  Returns
         the per-process results of :class:`~repro.parallel.procrunner`.
+        ``progress``/``report_path``/``trace_dir`` switch on live heartbeat
+        telemetry, the versioned ``run_report.json``, and per-child traces
+        merged into ``trace_dir/trace.json``.
         """
         specs = [ProcSpec(c.name, component=c) for c in self.sim.components]
         channels = [
@@ -132,7 +196,9 @@ class Experiment:
             for ea, eb in self.sim.channels
         ]
         runner = ProcessRunner(specs, channels)
-        return runner.run(duration_ps, timeout_s=timeout_s)
+        return runner.run(duration_ps, timeout_s=timeout_s,
+                          progress=progress, report_path=report_path,
+                          trace_dir=trace_dir, hb_interval_s=hb_interval_s)
 
     def execution_model(self, sim_time_ps: int) -> ParallelExecutionModel:
         """Virtual-time model over this experiment's recorded workload."""
@@ -165,9 +231,22 @@ class Instantiation:
     #: "add the flag to enable profiling").
     profile: bool = False
     profile_interval_rounds: int = 200
+    #: Enable the observability layer: a sim-domain tracer over the whole
+    #: simulation plus wall-domain build/run/teardown phase spans.
+    trace: bool = False
+    trace_capacity: int = 1 << 16
+    trace_interval_rounds: int = 64
 
     def build(self) -> Experiment:
         """Assemble all component simulators and channels per the choices."""
+        phase_tracer = None
+        build_start_us = 0.0
+        if self.trace:
+            from ..obs.trace import ORCH_PID, Tracer
+            phase_tracer = Tracer(pid=ORCH_PID,
+                                  process_name="orchestration",
+                                  clock="wall")
+            build_start_us = phase_tracer.wall_us()
         system = self.system
         spec = system.spec
         mode = "strict" if self.profile else self.mode
@@ -249,6 +328,17 @@ class Instantiation:
             hosts[name] = host
 
         exp = Experiment(system, sim, nb, hosts, nics, model_channels)
+        if phase_tracer is not None:
+            from ..obs.trace import PhaseClock
+            exp.phase_tracer = phase_tracer
+            exp.phases = PhaseClock(phase_tracer)
+            exp.enable_tracing(self.trace_capacity,
+                               self.trace_interval_rounds)
+            phase_tracer.span(phase_tracer.tid("phases"), "phase", "build",
+                              build_start_us,
+                              phase_tracer.wall_us() - build_start_us,
+                              {"components": len(sim.components),
+                               "channels": len(sim.channels)})
         if self.profile:
             sampler = StrictModeSampler(sim.components,
                                         interval=self.profile_interval_rounds)

@@ -22,9 +22,13 @@ constructed inside the child process::
 
 from __future__ import annotations
 
+import json
 import multiprocessing as mp
+import os
+import sys
 import time
 from dataclasses import dataclass, field
+from queue import Empty
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..kernel.component import Component
@@ -78,6 +82,7 @@ class ProcResult:
     events: int = 0
     wall_seconds: float = 0.0
     wait_seconds: float = 0.0
+    work_cycles: float = 0.0
     end_counters: Dict[str, dict] = field(default_factory=dict)
     outputs: dict = field(default_factory=dict)
     error: Optional[str] = None
@@ -90,24 +95,115 @@ def _find_end(comp: Component, end_name: str):
     raise KeyError(f"{comp.name}: no channel end named {end_name!r}")
 
 
-def _child_main(spec: ProcSpec, wiring: List[Tuple[str, str, str, str]],
-                until_ps: int, result_q, timeout_s: float) -> None:
+class _HeartbeatPump:
+    """Rate-limited child telemetry: heartbeats plus progress counters.
+
+    One :meth:`maybe` call costs a single ``perf_counter`` read unless the
+    heartbeat interval has elapsed; the advance loop calls it once per sync
+    round, the blocked spin loop once per spin batch.
+    """
+
+    def __init__(self, name: str, q, tracer, comp: Component,
+                 in_rings: List[ShmRing], t_start: float,
+                 interval_s: float) -> None:
+        self._name = name
+        self._q = q
+        self._tracer = tracer
+        self._comp = comp
+        self._in_rings = in_rings
+        self._t_start = t_start
+        self._interval = interval_s
+        self._next = t_start + interval_s
+        self._last_events = 0
+        self._last_t = t_start
+
+    def maybe(self, commit: int, waiting: bool) -> None:
+        now = time.perf_counter()
+        if now < self._next:
+            return
+        self._next = now + self._interval
+        events = self._comp.events_processed
+        dt = now - self._last_t
+        eps = (events - self._last_events) / dt if dt > 0 else 0.0
+        self._last_events = events
+        self._last_t = now
+        fill = max((r.fill_fraction() for r in self._in_rings), default=0.0)
+        if self._q is not None:
+            from ..obs.telemetry import Heartbeat
+            try:
+                self._q.put_nowait(Heartbeat(
+                    comp=self._name, wall_s=now - self._t_start,
+                    sim_ps=commit, events=events, events_per_sec=eps,
+                    ring_fill=fill, waiting=waiting))
+            except Exception:  # pragma: no cover - queue full/closed
+                pass
+        tracer = self._tracer
+        if tracer is not None:
+            ts = tracer.wall_us()
+            tracer.counter(tracer.tid("telemetry"), "telemetry", "progress",
+                           ts, {"sim_ps": commit, "events": events})
+            tracer.counter(tracer.tid("telemetry"), "telemetry", "ring_fill",
+                           ts, {"in_fill": fill})
+
+
+def _sample_counters(tracer, comp: Component) -> None:
+    """Emit one cumulative ``comp|``/``chan|`` sample (wall timestamps).
+
+    Children emit a baseline right after wiring and a final sample at the
+    end of the run, so trace-derived last-minus-first diffs cover exactly
+    the run — the same quantity the counter-based profiler reports.
+    """
+    tid = tracer.tid(comp.name)
+    ts = tracer.wall_us()
+    tracer.counter(tid, "comp", f"comp|{comp.name}", ts, {
+        "events": comp.events_processed,
+        "work_cycles": comp.work_cycles,
+    })
+    for end in comp.ends:
+        end.obs_sample(tracer, tid, ts, comp.name)
+
+
+def _child_main(spec: ProcSpec,
+                wiring: List[Tuple[str, str, str, str, str]],
+                until_ps: int, result_q, timeout_s: float,
+                telemetry_q=None, trace_dir: Optional[str] = None,
+                hb_interval_s: float = 0.25, index: int = 0) -> None:
     result = ProcResult(name=spec.name)
     rings: List[ShmRing] = []
+    tracer = None
     try:
+        if trace_dir is not None:
+            from ..obs.trace import Tracer
+            tracer = Tracer(pid=index + 1, process_name=spec.name,
+                            clock="wall")
         comp = spec.make()
-        for end_name, out_name, in_name, peer in wiring:
+        in_rings: List[ShmRing] = []
+        for end_name, out_name, in_name, peer, peer_comp in wiring:
             out_ring = ShmRing.attach(out_name)
             in_ring = ShmRing.attach(in_name)
             rings.extend((out_ring, in_ring))
-            _find_end(comp, end_name).wire(out_q=out_ring, in_q=in_ring,
-                                           peer_name=peer)
+            in_rings.append(in_ring)
+            end = _find_end(comp, end_name)
+            end.wire(out_q=out_ring, in_q=in_ring, peer_name=peer)
+            end.peer_comp_name = peer_comp
         t_start = time.perf_counter()
+        run_start_us = 0.0
+        if tracer is not None:
+            run_start_us = tracer.wall_us()
+            tracer.span(tracer.tid("lifecycle"), "proc", "setup",
+                        0.0, run_start_us)
+            _sample_counters(tracer, comp)  # baseline for trace diffs
+        pump = None
+        if telemetry_q is not None or tracer is not None:
+            pump = _HeartbeatPump(spec.name, telemetry_q, tracer, comp,
+                                  in_rings, t_start, hb_interval_s)
         deadline = t_start + timeout_s
         wait_ns = 0
         last_commit = -1
         while True:
             commit = comp.advance(until_ps)
+            if pump is not None:
+                pump.maybe(commit, waiting=False)
             if commit >= until_ps:
                 break
             if commit == last_commit:
@@ -121,6 +217,8 @@ def _child_main(spec: ProcSpec, wiring: List[Tuple[str, str, str, str]],
                     spins += 1
                     if spins % _SPIN_BATCH == 0:
                         time.sleep(0)
+                        if pump is not None:
+                            pump.maybe(commit, waiting=True)
                         if time.perf_counter() > deadline:
                             raise TimeoutError(
                                 f"{spec.name} stuck at commit={commit}"
@@ -130,14 +228,33 @@ def _child_main(spec: ProcSpec, wiring: List[Tuple[str, str, str, str]],
                 share = dt / max(1, len(blocking))
                 for e in blocking:
                     e.note_wait(share)
+                if tracer is not None:
+                    dur_us = dt / 1e3
+                    tracer.span(
+                        tracer.tid("sync"), "sync",
+                        f"wait|{'+'.join(e.name for e in blocking)}",
+                        tracer.wall_us() - dur_us, dur_us,
+                        {"commit": commit,
+                         "on": [e.peer_comp_name or e.peer_name
+                                for e in blocking]})
             last_commit = commit
         result.events = comp.events_processed
         result.wall_seconds = time.perf_counter() - t_start
         result.wait_seconds = wait_ns / 1e9
+        result.work_cycles = comp.work_cycles
         result.end_counters = {e.name: e.counters() for e in comp.ends}
         collect = getattr(comp, "collect_outputs", None)
         if collect is not None:
             result.outputs = collect()
+        if tracer is not None:
+            end_us = tracer.wall_us()
+            tracer.span(tracer.tid("lifecycle"), "proc", "run",
+                        run_start_us, end_us - run_start_us,
+                        {"events": result.events,
+                         "wait_seconds": result.wait_seconds})
+            _sample_counters(tracer, comp)  # final sample (diff vs baseline)
+            tracer.save_jsonl(os.path.join(trace_dir,
+                                           f"{spec.name}.trace.jsonl"))
     except Exception as exc:  # pragma: no cover - error path
         result.error = f"{type(exc).__name__}: {exc}"
     finally:
@@ -158,45 +275,109 @@ class ProcessRunner:
         self.channels = channels
         self.ring_bytes = ring_bytes
 
-    def run(self, until_ps: int, timeout_s: float = 120.0) -> Dict[str, ProcResult]:
-        """Run all components to ``until_ps``; returns per-component results."""
+    def run(self, until_ps: int, timeout_s: float = 120.0, *,
+            progress: bool = False, report_path: Optional[str] = None,
+            trace_dir: Optional[str] = None,
+            hb_interval_s: float = 0.25) -> Dict[str, ProcResult]:
+        """Run all components to ``until_ps``; returns per-component results.
+
+        Parameters
+        ----------
+        progress:
+            Render a live one-line status (stderr) from child heartbeats.
+        report_path:
+            Write the versioned ``run_report.json`` here after the run
+            (written even when a component fails, before raising).
+        trace_dir:
+            Directory for per-child wall-clock traces (JSONL) and the
+            merged ``trace.json`` Chrome-trace document.
+        hb_interval_s:
+            Child heartbeat period; heartbeats are only collected when
+            ``progress`` or ``report_path`` is requested.
+        """
         ctx = mp.get_context("fork")
         rings: List[ShmRing] = []
-        # wiring[comp] = list of (end_name, out_ring, in_ring, peer_end_name)
-        wiring: Dict[str, List[Tuple[str, str, str, str]]] = {
+        # wiring[comp] = (end_name, out_ring, in_ring, peer_end, peer_comp)
+        wiring: Dict[str, List[Tuple[str, str, str, str, str]]] = {
             s.name: [] for s in self.specs
         }
+        want_telemetry = progress or report_path is not None
+        aggregator = None
+        telemetry_q = None
+        parent_tracer = None
+        if want_telemetry:
+            from ..obs.telemetry import TelemetryAggregator
+            aggregator = TelemetryAggregator([s.name for s in self.specs])
+        if trace_dir is not None:
+            os.makedirs(trace_dir, exist_ok=True)
+            from ..obs.trace import Tracer
+            parent_tracer = Tracer(pid=0, process_name="runner",
+                                   clock="wall")
         try:
             for ch in self.channels:
                 r_ab = ShmRing.create(self.ring_bytes)
                 r_ba = ShmRing.create(self.ring_bytes)
                 rings.extend((r_ab, r_ba))
-                wiring[ch.comp_a].append((ch.end_a, r_ab.name, r_ba.name, ch.end_b))
-                wiring[ch.comp_b].append((ch.end_b, r_ba.name, r_ab.name, ch.end_a))
+                wiring[ch.comp_a].append(
+                    (ch.end_a, r_ab.name, r_ba.name, ch.end_b, ch.comp_b))
+                wiring[ch.comp_b].append(
+                    (ch.end_b, r_ba.name, r_ab.name, ch.end_a, ch.comp_a))
 
             result_q = ctx.Queue()
+            if want_telemetry:
+                telemetry_q = ctx.Queue()
+            launch_us = 0.0
             procs = [
                 ctx.Process(
                     target=_child_main,
-                    args=(spec, wiring[spec.name], until_ps, result_q, timeout_s),
+                    args=(spec, wiring[spec.name], until_ps, result_q,
+                          timeout_s, telemetry_q, trace_dir, hb_interval_s,
+                          index),
                     name=f"splitsim-{spec.name}",
                 )
-                for spec in self.specs
+                for index, spec in enumerate(self.specs)
             ]
             for p in procs:
                 p.start()
+            if parent_tracer is not None:
+                launch_us = parent_tracer.wall_us()
+                parent_tracer.span(parent_tracer.tid("phases"), "phase",
+                                   "launch", 0.0, launch_us,
+                                   {"processes": len(procs)})
+            t_run0 = time.perf_counter()
             results: Dict[str, ProcResult] = {}
             deadline = time.monotonic() + timeout_s + 10
             while len(results) < len(procs):
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
+                if time.monotonic() > deadline:
                     raise TimeoutError("simulation processes did not finish")
-                res: ProcResult = result_q.get(timeout=remaining)
+                self._drain_telemetry(telemetry_q, aggregator, progress)
+                try:
+                    res: ProcResult = result_q.get(
+                        timeout=hb_interval_s if want_telemetry else 0.5)
+                except Empty:
+                    continue
                 results[res.name] = res
+            self._drain_telemetry(telemetry_q, aggregator, progress)
+            if progress:
+                sys.stderr.write("\n")
+                sys.stderr.flush()
             for p in procs:
                 p.join(timeout=10)
                 if p.is_alive():  # pragma: no cover - cleanup path
                     p.terminate()
+            wall_total = time.perf_counter() - t_run0
+            trace_path = None
+            if parent_tracer is not None:
+                parent_tracer.span(parent_tracer.tid("phases"), "phase",
+                                   "run", launch_us,
+                                   parent_tracer.wall_us() - launch_us)
+                trace_path = self._merge_traces(trace_dir, parent_tracer)
+            if report_path is not None:
+                from ..obs.telemetry import (build_run_report,
+                                             write_run_report)
+                write_run_report(report_path, build_run_report(
+                    until_ps, wall_total, results, aggregator,
+                    trace=trace_path))
             errors = {n: r.error for n, r in results.items() if r.error}
             if errors:
                 raise RuntimeError(f"component failures: {errors}")
@@ -205,3 +386,44 @@ class ProcessRunner:
             for ring in rings:
                 ring.close()
                 ring.unlink()
+
+    def _drain_telemetry(self, telemetry_q, aggregator,
+                         progress: bool) -> None:
+        """Consume pending heartbeats; refresh the status line if asked."""
+        if telemetry_q is None:
+            return
+        noted = False
+        while True:
+            try:
+                hb = telemetry_q.get_nowait()
+            except Empty:
+                break
+            aggregator.note(hb)
+            noted = True
+        if progress and noted:
+            sys.stderr.write("\r\x1b[K" + aggregator.status_line())
+            sys.stderr.flush()
+
+    def _merge_traces(self, trace_dir: str, parent_tracer) -> str:
+        """Merge per-child JSONL traces + runner phases into trace.json."""
+        from ..obs.trace import TRACE_SCHEMA, load_trace
+        events = parent_tracer.metadata_events() + parent_tracer.events()
+        clocks = {"0": "wall"}
+        dropped = parent_tracer.dropped
+        for index, spec in enumerate(self.specs):
+            child = os.path.join(trace_dir, f"{spec.name}.trace.jsonl")
+            if not os.path.exists(child):
+                continue  # child died before writing its trace
+            events.extend(load_trace(child)["traceEvents"])
+            clocks[str(index + 1)] = "wall"
+        doc = {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {"schema": TRACE_SCHEMA,
+                          "clock_domains": clocks,
+                          "dropped_records": dropped},
+        }
+        path = os.path.join(trace_dir, "trace.json")
+        with open(path, "w") as fh:
+            json.dump(doc, fh, separators=(",", ":"))
+        return path

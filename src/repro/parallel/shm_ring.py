@@ -147,6 +147,17 @@ class ShmRing:
         """True when the consumer has drained everything published."""
         return self._read_u64(0) <= self._local_tail
 
+    def fill_fraction(self) -> float:
+        """Occupancy in [0, 1]: published-but-unconsumed bytes / capacity.
+
+        Reads both shared cursors; either side may call it (telemetry
+        heartbeats sample it off the hot path).
+        """
+        used = self._read_u64(0) - self._read_u64(64)
+        if used <= 0:
+            return 0.0
+        return min(1.0, used / self._capacity)
+
     # -- lifecycle ---------------------------------------------------------
 
     def close(self) -> None:

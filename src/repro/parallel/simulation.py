@@ -126,6 +126,11 @@ class Simulation:
             self.recorder = WorkRecorder(work_window_ps)
         #: called once per strict-mode coordinator round (profiler sampling)
         self.round_hook = None
+        #: observability tracer (``None`` = disabled); install via
+        #: :func:`repro.obs.install.install_tracer`, never directly.
+        self.obs = None
+        #: strict-mode counter-track sampling period, in coordinator rounds
+        self.obs_interval = 64
         self._wired = False
 
     # -- assembly ----------------------------------------------------------
@@ -186,6 +191,10 @@ class Simulation:
                 connect(end_a, end_b, FifoQueue)
                 end_a.peer_comp_name = end_b.owner.name
                 end_b.peer_comp_name = end_a.owner.name
+        if self.obs is not None:
+            # lazy import: the obs layer costs nothing when disabled
+            from ..obs.install import wire_tracer
+            wire_tracer(self)
 
     def run(self, until_ps: int) -> SimStats:
         """Run the simulation to ``until_ps`` and return run statistics."""
@@ -241,6 +250,11 @@ class Simulation:
         comps = self.components
         commits = {c.name: -1 for c in comps}
         rounds = 0
+        obs = self.obs
+        if obs is not None:
+            from ..obs.install import sample_strict_round
+            # t=0 baseline sample: trace-derived diffs then cover the run
+            sample_strict_round(self, obs, 0, until_ps)
         while True:
             progressed = False
             done = True
@@ -258,6 +272,8 @@ class Simulation:
             rounds += 1
             if self.round_hook is not None:
                 self.round_hook()
+            if obs is not None and (done or not rounds % self.obs_interval):
+                sample_strict_round(self, obs, rounds, until_ps)
             if done:
                 return rounds
             if not progressed:

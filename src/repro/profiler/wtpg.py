@@ -20,11 +20,16 @@ from .postprocess import ProfileAnalysis
 
 
 def _wait_to_color(wait_fraction: float) -> str:
-    """Map wait fraction to a hex color: 0.0 -> red, 1.0 -> green."""
+    """Map wait fraction to a hex color: 0.0 -> red, 1.0 -> green.
+
+    The green channel ramps 55 -> 200 so a pure bottleneck (frac=0) renders
+    as a warm red (#ff3740) rather than pure red, and a fully-waiting node
+    as the dashboard green (#00c840).
+    """
     frac = min(1.0, max(0.0, wait_fraction))
     red = int(255 * (1.0 - frac))
-    green = int(200 * frac + 55 * (1.0 - frac) * 0)
-    return f"#{red:02x}{max(green, 0):02x}40"
+    green = int(200 * frac + 55 * (1.0 - frac))
+    return f"#{red:02x}{green:02x}40"
 
 
 def build_wtpg(analysis: ProfileAnalysis) -> nx.DiGraph:

@@ -28,7 +28,7 @@ from ..kernel.simtime import SEC, parse_time
 from ..orchestration.instantiate import Instantiation
 from ..orchestration.strategies import STRATEGIES
 from ..orchestration.system import System
-from ..profiler.wtpg import build_wtpg, to_text
+from ..profiler.wtpg import build_wtpg, save_dot, to_text
 
 
 def load_config(path: str):
@@ -60,6 +60,17 @@ def build_parser() -> argparse.ArgumentParser:
                         help="enable the SplitSim profiler (implies strict)")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="write run outputs as JSON")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="export a Chrome-trace/Perfetto JSON of the run "
+                             "(open in ui.perfetto.dev; feed to "
+                             "splitsim-inspect)")
+    parser.add_argument("--stats-json", metavar="PATH", default=None,
+                        help="write the unified metrics snapshot "
+                             "(subsystem.component.metric) as JSON")
+    parser.add_argument("--profile-out", metavar="DIR", default=None,
+                        help="write the raw profiler log (profile.jsonl), "
+                             "the WTPG (wtpg.dot) and the trace "
+                             "(trace.json) into DIR; implies --profile")
     return parser
 
 
@@ -100,8 +111,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                   file=sys.stderr)
             return 1
         inst_kwargs["network_partition"] = STRATEGIES[args.partition]
-    if args.profile:
+    if args.profile or args.profile_out:
         inst_kwargs["profile"] = True
+    if args.trace or args.profile_out:
+        inst_kwargs.setdefault("trace", True)
 
     duration_text = args.duration or getattr(module, "DURATION", "10ms")
     duration = parse_time(duration_text)
@@ -123,11 +136,34 @@ def main(argv: Optional[List[str]] = None) -> int:
     for key in sorted(app_stats):
         print(f"  {key}: {app_stats[key]}")
 
-    if args.profile:
+    analysis = None
+    if args.profile or args.profile_out:
         analysis = exp.profile_analysis()
         print()
         print(analysis.summary())
         print(to_text(build_wtpg(analysis), title="wait-time profile"))
+
+    if args.profile_out:
+        outdir = Path(args.profile_out)
+        outdir.mkdir(parents=True, exist_ok=True)
+        exp.sampler.log.save(outdir / "profile.jsonl")
+        save_dot(build_wtpg(analysis), str(outdir / "wtpg.dot"),
+                 title="SplitSim WTPG")
+        written = ["profile.jsonl", "wtpg.dot"]
+        if exp.tracer is not None:
+            exp.save_trace(str(outdir / "trace.json"))
+            written.append("trace.json")
+        print(f"wrote {outdir}/{{{', '.join(written)}}}")
+
+    if args.trace:
+        exp.save_trace(args.trace)
+        print(f"wrote {args.trace}")
+
+    if args.stats_json:
+        snapshot = exp.metrics(stats).snapshot()
+        with open(args.stats_json, "w") as fh:
+            json.dump(snapshot, fh, indent=2, default=str)
+        print(f"wrote {args.stats_json}")
 
     if args.json:
         with open(args.json, "w") as fh:

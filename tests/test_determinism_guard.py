@@ -18,9 +18,12 @@ GOLDEN_DIGEST = "141c2979831836787e308a6a0b00dcb51ecee797f2c31a3e79de4fffe58e413
 DURATION = 2 * MS
 
 
-def timeline_digest(mode: str) -> str:
+def timeline_digest(mode: str, traced: bool = False) -> str:
     exp = Instantiation(build_mixed_system(), mode=mode).build()
     sim = exp.sim
+    if traced:
+        from repro.obs import Tracer, install_tracer
+        install_tracer(sim, Tracer())
     lines = {}
 
     def trace(owner, ts):
@@ -47,3 +50,13 @@ def test_fast_mode_timeline_matches_golden():
 
 def test_strict_mode_timeline_matches_golden():
     assert timeline_digest("strict") == GOLDEN_DIGEST
+
+
+def test_fast_mode_timeline_unchanged_with_tracing():
+    # observability is observation only: the traced kernel drain must
+    # execute the exact same event timeline as the untraced one
+    assert timeline_digest("fast", traced=True) == GOLDEN_DIGEST
+
+
+def test_strict_mode_timeline_unchanged_with_tracing():
+    assert timeline_digest("strict", traced=True) == GOLDEN_DIGEST

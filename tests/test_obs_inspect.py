@@ -1,0 +1,133 @@
+"""splitsim-inspect: trace-derived analysis agrees with the profiler.
+
+The acceptance criterion for the observability layer: a strict traced run
+produces a Chrome-trace from which :func:`analysis_from_trace` reconstructs
+a WTPG whose bottleneck ranking matches the counter-based profiler on the
+very same run.
+"""
+
+import json
+
+from repro.kernel.simtime import MS, US
+from repro.netsim.apps.kv import KVClientApp, KVServerApp
+from repro.obs.inspect_cli import (analysis_from_trace, edge_wait_histograms,
+                                   main, stall_points, stall_timeline,
+                                   top_spans)
+from repro.obs.trace import validate_chrome_doc
+from repro.orchestration.instantiate import Instantiation
+from repro.orchestration.system import System
+
+GBPS = 1e9
+
+
+def traced_strict_run(tmp_path, duration=2 * MS):
+    system = System(seed=3)
+    system.switch("tor")
+    system.host("server", simulator="qemu")
+    system.host("client")
+    system.link("server", "tor", 10 * GBPS, 1 * US)
+    system.link("client", "tor", 10 * GBPS, 1 * US)
+    system.app("server", lambda h: KVServerApp())
+    addr = system.addr_of("server")
+    system.app("client", lambda h: KVClientApp([addr], closed_loop_window=4))
+    exp = Instantiation(system, mode="strict", profile=True,
+                        trace=True).build()
+    exp.run(duration)
+    path = tmp_path / "trace.json"
+    doc = exp.save_trace(str(path))
+    return exp, doc, path
+
+
+def test_trace_ranking_matches_profiler(tmp_path):
+    exp, doc, _ = traced_strict_run(tmp_path)
+    assert validate_chrome_doc(doc) == []
+
+    from_trace = analysis_from_trace(doc)
+    from_counters = exp.profile_analysis(drop_head=0)
+    n = len(from_counters.components)
+    assert n >= 3  # net + host + nic
+    assert set(from_trace.components) == set(from_counters.components)
+    # the headline guarantee: identical bottleneck ranking
+    assert from_trace.bottlenecks(n) == from_counters.bottlenecks(n)
+    # the wait fractions agree closely (windows differ by < one sampling
+    # interval: the trace baseline is at t=0, the profiler's first sample
+    # lands after its first interval)
+    for name, cm in from_counters.components.items():
+        assert abs(from_trace.components[name].wait_fraction
+                   - cm.wait_fraction) < 1e-2
+
+
+def test_trace_edges_name_components(tmp_path):
+    exp, doc, _ = traced_strict_run(tmp_path)
+    from_trace = analysis_from_trace(doc)
+    comp_names = set(from_trace.components)
+    assert from_trace.edge_wait_fraction  # strict runs always wait somewhere
+    for (src, dst), frac in from_trace.edge_wait_fraction.items():
+        # trace edges are component -> peer component (WTPG node names)
+        assert src in comp_names and dst in comp_names
+        assert 0.0 <= frac <= 1.0
+
+
+def test_edge_wait_histograms_from_real_run(tmp_path):
+    _, doc, _ = traced_strict_run(tmp_path)
+    hists = edge_wait_histograms(doc)
+    assert hists
+    # at least one channel direction accumulated wait increments
+    assert any(h.count > 0 for h in hists.values())
+
+
+# -- span/stall summaries on synthetic events ---------------------------------
+
+def _ev(ph, name, ts, **kw):
+    return {"ph": ph, "pid": 0, "tid": 1, "cat": "c", "name": name,
+            "ts": ts, **kw}
+
+
+def test_top_spans_groups_by_base_name():
+    events = [
+        _ev("X", "drain|a", 0.0, dur=5.0),
+        _ev("X", "drain|b", 1.0, dur=3.0),
+        _ev("X", "busy|x->y", 2.0, dur=100.0),
+        _ev("i", "noise", 3.0, s="t"),
+    ]
+    ranked = top_spans(events, top=10)
+    assert ranked[0]["name"] == "c/busy"
+    drain = next(e for e in ranked if e["name"] == "c/drain")
+    assert drain["count"] == 2 and drain["total_us"] == 8.0
+    assert drain["max_us"] == 5.0
+
+
+def test_stall_points_reads_instants_and_wait_spans():
+    events = [
+        _ev("i", "stall|net", 1.0, s="t"),
+        _ev("X", "wait|server.nic", 2.0, dur=4.0),
+        _ev("X", "drain|net", 3.0, dur=1.0),  # not a stall
+    ]
+    assert stall_points(events) == [("net", 1.0), ("server.nic", 2.0)]
+    timeline = stall_timeline(events, buckets=8)
+    assert "net" in timeline and "server.nic" in timeline
+    assert stall_timeline([]) == "  (no stalls recorded)"
+
+
+# -- CLI end-to-end ------------------------------------------------------------
+
+def test_cli_summarizes_and_writes_artifacts(tmp_path, capsys):
+    _, _, path = traced_strict_run(tmp_path)
+    dot = tmp_path / "wtpg.dot"
+    summary = tmp_path / "summary.json"
+    rc = main([str(path), "--dot", str(dot), "--json", str(summary)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "top spans" in out and "bottleneck ranking:" in out
+    assert dot.read_text().startswith("digraph wtpg {")
+    doc = json.loads(summary.read_text())
+    assert doc["bottlenecks"] and doc["top_spans"]
+
+
+def test_cli_rejects_invalid_trace(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"traceEvents": "nope"}')
+    assert main([str(bad)]) == 1
+    assert "not a valid trace" in capsys.readouterr().err
+    missing = tmp_path / "missing.json"
+    assert main([str(missing)]) == 1

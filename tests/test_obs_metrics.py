@@ -1,0 +1,145 @@
+"""Metrics primitives and the unified collection API."""
+
+import pytest
+
+from repro.kernel.simtime import MS, US
+from repro.netsim.apps.kv import KVClientApp, KVServerApp
+from repro.obs.metrics import (Counter, Gauge, Histogram, METRICS_SCHEMA,
+                               MetricsRegistry, collect_experiment,
+                               collect_simulation)
+from repro.orchestration.instantiate import Instantiation
+from repro.orchestration.system import System
+
+GBPS = 1e9
+
+
+def kv_experiment():
+    system = System(seed=3)
+    system.switch("tor")
+    system.host("server", simulator="qemu")
+    system.host("client")
+    system.link("server", "tor", 10 * GBPS, 1 * US)
+    system.link("client", "tor", 10 * GBPS, 1 * US)
+    system.app("server", lambda h: KVServerApp())
+    addr = system.addr_of("server")
+    system.app("client", lambda h: KVClientApp([addr], closed_loop_window=4))
+    return Instantiation(system).build()
+
+
+# -- primitives ---------------------------------------------------------------
+
+def test_counter_is_monotonic():
+    c = Counter("c")
+    c.inc()
+    c.inc(4.0)
+    assert c.value == 5.0
+    with pytest.raises(ValueError):
+        c.inc(-1.0)
+
+
+def test_gauge_sets_freely():
+    g = Gauge("g")
+    g.set(7.0)
+    g.set(2.5)
+    assert g.value == 2.5
+
+
+def test_histogram_exponential_buckets():
+    h = Histogram("h", start=1.0, factor=2.0, buckets=4)
+    assert h.bounds == [1.0, 2.0, 4.0, 8.0]
+    for v in (0.5, 1.5, 3.0, 100.0):
+        h.observe(v)
+    assert h.count == 4
+    assert h.max == 100.0
+    assert h.mean == pytest.approx((0.5 + 1.5 + 3.0 + 100.0) / 4)
+    assert h.counts == [1, 1, 1, 0, 1]  # last is overflow
+    d = h.to_dict()
+    assert d["overflow"] == 1 and d["count"] == 4
+
+
+def test_histogram_quantiles():
+    h = Histogram("h", start=1.0, factor=2.0, buckets=8)
+    for v in [1, 1, 1, 1, 1, 1, 1, 1, 1, 100]:
+        h.observe(v)
+    assert h.quantile(0.5) == 1.0
+    assert h.quantile(1.0) == 128.0  # bucket upper bound holding the max
+    assert Histogram("e").quantile(0.9) == 0.0
+    with pytest.raises(ValueError):
+        h.quantile(1.5)
+
+
+def test_histogram_rejects_bad_shape():
+    with pytest.raises(ValueError):
+        Histogram("h", start=0.0)
+    with pytest.raises(ValueError):
+        Histogram("h", factor=1.0)
+    with pytest.raises(ValueError):
+        Histogram("h", buckets=0)
+
+
+# -- registry -----------------------------------------------------------------
+
+def test_registry_get_or_create_returns_same_object():
+    reg = MetricsRegistry()
+    assert reg.counter("a.b.c") is reg.counter("a.b.c")
+    assert len(reg) == 1
+    assert "a.b.c" in reg
+
+
+def test_registry_rejects_kind_conflicts():
+    reg = MetricsRegistry()
+    reg.counter("x")
+    with pytest.raises(TypeError):
+        reg.gauge("x")
+
+
+def test_snapshot_is_versioned_and_flat():
+    reg = MetricsRegistry()
+    reg.counter("kernel.queue.executed").inc(10)
+    reg.gauge("run.events_per_sec").set(1e6)
+    reg.histogram("lat", buckets=4).observe(3.0)
+    snap = reg.snapshot()
+    assert snap["schema"] == METRICS_SCHEMA
+    assert snap["metrics"]["kernel.queue.executed"] == 10.0
+    assert snap["metrics"]["run.events_per_sec"] == 1e6
+    assert snap["metrics"]["lat"]["count"] == 1
+
+
+# -- collection ---------------------------------------------------------------
+
+def test_collect_simulation_unifies_all_layers():
+    exp = kv_experiment()
+    result = exp.run(2 * MS)
+    reg = collect_simulation(exp.sim, stats=result.stats)
+    names = reg.names()
+    # kernel.*: event-queue health aggregates
+    assert reg.value("kernel.queue.executed") == float(result.stats.events)
+    # component.*: per-component progress
+    assert reg.value("component.net.events") > 0
+    assert reg.value("component.server.host.work_cycles") > 0
+    # channel.*: per-end counters under subsystem.component.metric naming
+    assert any(n.startswith("channel.server.nic.") and n.endswith(".tx_msgs")
+               for n in names)
+    # netsim.*: per-link-direction counters including the node names
+    assert reg.value("netsim.net.tx_packets") > 0
+    assert any(".link.tor->" in n for n in names)
+    # run.*: run-level throughput from SimStats
+    assert reg.value("run.events") == float(result.stats.events)
+
+
+def test_collect_experiment_adds_app_metrics():
+    exp = kv_experiment()
+    exp.run(2 * MS)
+    reg = collect_experiment(exp)
+    assert reg.value("app.client.app0.completed") > 0
+    snap = reg.snapshot()
+    assert snap["metrics"]["app.client.app0.completed"] == \
+        reg.value("app.client.app0.completed")
+
+
+def test_experiment_metrics_convenience():
+    exp = kv_experiment()
+    result = exp.run(1 * MS)
+    reg = exp.metrics(result.stats)
+    assert "run.events" in reg
+    assert reg.value("run.sim_ps") == float(1 * MS)

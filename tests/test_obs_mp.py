@@ -1,0 +1,91 @@
+"""Live telemetry and traces from the multiprocess runner."""
+
+import json
+
+import pytest
+
+from repro.kernel.simtime import MS, US
+from repro.netsim.apps.kv import KVClientApp, KVServerApp
+from repro.obs.telemetry import (Heartbeat, RUN_REPORT_SCHEMA,
+                                 TelemetryAggregator)
+from repro.obs.trace import load_trace, validate_chrome_doc
+from repro.orchestration.instantiate import Instantiation
+from repro.orchestration.system import System
+from repro.channels.messages import RawMsg
+from repro.parallel.shm_ring import ShmRing
+
+GBPS = 1e9
+
+
+def kv_system():
+    system = System(seed=3)
+    system.switch("tor")
+    system.host("server", simulator="qemu")
+    system.host("client")
+    system.link("server", "tor", 10 * GBPS, 1 * US)
+    system.link("client", "tor", 10 * GBPS, 1 * US)
+    system.app("server", lambda h: KVServerApp())
+    addr = system.addr_of("server")
+    system.app("client", lambda h: KVClientApp([addr], closed_loop_window=4))
+    return system
+
+
+def test_shm_ring_reports_fill_fraction():
+    ring = ShmRing.create(size_bytes=1 << 14)
+    try:
+        assert ring.fill_fraction() == 0.0
+        for _ in range(8):
+            ring.push(RawMsg(payload=b"x" * 200))
+        filled = ring.fill_fraction()
+        assert 0.0 < filled <= 1.0
+        while ring.pop() is not None:
+            pass
+        assert ring.fill_fraction() == 0.0
+    finally:
+        ring.close()
+        ring.unlink()
+
+
+def test_aggregator_tracks_latest_heartbeat_per_component():
+    agg = TelemetryAggregator(["a", "b"])
+    agg.note(Heartbeat(comp="a", wall_s=1.0, sim_ps=500, events=10,
+                       events_per_sec=10.0, ring_fill=0.5))
+    agg.note(Heartbeat(comp="a", wall_s=2.0, sim_ps=900, events=30,
+                       events_per_sec=20.0, ring_fill=0.1, waiting=True))
+    line = agg.status_line()
+    assert "a" in line and "b" in line
+
+
+@pytest.mark.slow
+def test_run_mp_emits_report_and_merged_trace(tmp_path):
+    exp = Instantiation(kv_system()).build()
+    report_path = tmp_path / "run_report.json"
+    trace_dir = tmp_path / "traces"
+    results = exp.run_mp(2 * MS, timeout_s=120,
+                         report_path=str(report_path),
+                         trace_dir=str(trace_dir))
+    assert set(results) == {"net", "server.host", "server.nic"}
+
+    report = json.loads(report_path.read_text())
+    assert report["schema"] == RUN_REPORT_SCHEMA
+    comps = report["components"]
+    assert set(comps) == set(results)
+    for name, entry in comps.items():
+        assert entry["events"] == results[name].events
+        assert entry["wall_seconds"] > 0
+    # children measure their own work cycles now
+    assert any(r.work_cycles > 0 for r in results.values())
+
+    # merged Chrome trace: parent runner + one pid per child, wall clock
+    doc = load_trace(str(trace_dir / "trace.json"))
+    assert validate_chrome_doc(doc) == []
+    pids = {e["pid"] for e in doc["traceEvents"]}
+    assert len(pids) == 4  # runner + 3 children
+    clocks = doc["otherData"]["clock_domains"]
+    assert set(clocks.values()) == {"wall"}
+    names = [e.get("name", "") for e in doc["traceEvents"]]
+    # lifecycle spans and blocked-streak wait spans made it across
+    assert any(n == "run" for n in names)
+    assert any(n.startswith("wait|") for n in names)
+    # cumulative counter tracks for splitsim-inspect
+    assert any(n.startswith("comp|") for n in names)

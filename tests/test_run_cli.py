@@ -85,6 +85,52 @@ def test_cli_json_output(tmp_path):
     assert data["apps"]["client.app0"]["completed"] > 0
 
 
+def test_cli_trace_writes_valid_chrome_doc(tmp_path, capsys):
+    from repro.obs.trace import load_trace, validate_chrome_doc
+
+    path = write_config(tmp_path)
+    trace = tmp_path / "trace.json"
+    assert main([path, "--duration", "1ms", "--trace", str(trace)]) == 0
+    doc = load_trace(str(trace))
+    assert validate_chrome_doc(doc) == []
+    assert doc["otherData"]["mode"] == "fast"
+    assert any(e["ph"] == "X" for e in doc["traceEvents"])
+
+
+def test_cli_stats_json_snapshot(tmp_path):
+    path = write_config(tmp_path)
+    stats = tmp_path / "stats.json"
+    assert main([path, "--duration", "1ms", "--stats-json", str(stats)]) == 0
+    snap = json.loads(stats.read_text())
+    assert snap["schema"] == 1
+    metrics = snap["metrics"]
+    assert metrics["kernel.queue.executed"] > 0
+    assert metrics["run.events"] > 0
+    assert metrics["app.client.app0.completed"] > 0
+    assert any(name.startswith("netsim.net.link.") for name in metrics)
+
+
+def test_cli_profile_out_writes_bundle(tmp_path, capsys):
+    from repro.obs.trace import load_trace, validate_chrome_doc
+    from repro.profiler.records import ProfileLog
+
+    path = write_config(tmp_path)
+    outdir = tmp_path / "profile"
+    assert main([path, "--duration", "1ms",
+                 "--profile-out", str(outdir)]) == 0
+    # ProfileLog JSONL reloads with records for every component
+    log = ProfileLog.load(str(outdir / "profile.jsonl"))
+    assert log.records
+    comps = {r.comp for r in log.records}
+    assert {"net", "server.host", "server.nic"} <= comps
+    # WTPG DOT and the trace ride along
+    dot = (outdir / "wtpg.dot").read_text()
+    assert dot.startswith("digraph wtpg {")
+    doc = load_trace(str(outdir / "trace.json"))
+    assert validate_chrome_doc(doc) == []
+    assert "wait-time profile" in capsys.readouterr().out
+
+
 def test_cli_missing_config_errors(tmp_path, capsys):
     assert main([str(tmp_path / "nope.py")]) == 1
     assert "error" in capsys.readouterr().err

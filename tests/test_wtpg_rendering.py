@@ -20,11 +20,23 @@ def analysis_with(waits: dict, edges: dict) -> ProfileAnalysis:
 
 
 def test_color_spectrum_endpoints():
-    red = _wait_to_color(0.0)
-    green = _wait_to_color(1.0)
-    assert red.startswith("#ff")
-    assert int(green[1:3], 16) == 0
-    assert int(green[3:5], 16) > int(red[3:5], 16)
+    # exact endpoints: warm red for a pure bottleneck, dashboard green
+    # for a fully-waiting node (green ramps 55 -> 200, never zero)
+    assert _wait_to_color(0.0) == "#ff3740"
+    assert _wait_to_color(1.0) == "#00c840"
+
+
+def test_color_midpoint_interpolates_green():
+    # both channels hit 127 halfway: red 255->0, green 55->200
+    assert _wait_to_color(0.5) == "#7f7f40"
+
+
+def test_color_ramp_is_monotonic():
+    fracs = [i / 10 for i in range(11)]
+    greens = [int(_wait_to_color(f)[3:5], 16) for f in fracs]
+    reds = [int(_wait_to_color(f)[1:3], 16) for f in fracs]
+    assert greens == sorted(greens) and greens[0] == 0x37
+    assert reds == sorted(reds, reverse=True)
 
 
 def test_color_clamps_out_of_range():
