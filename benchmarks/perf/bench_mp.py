@@ -1,0 +1,13 @@
+#!/usr/bin/env python
+"""Multiprocess transport benchmark (wrapper for ``splitsim-bench mp``).
+
+Typical use, from the repository root::
+
+    PYTHONPATH=src python benchmarks/perf/bench_mp.py --out BENCH_mp.json
+"""
+import sys
+
+from repro.bench.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main(["mp", *sys.argv[1:]]))

@@ -140,8 +140,56 @@ def _run_obs(scale: float, repeat: int, trace_alloc: bool) -> List[BenchResult]:
     ]
 
 
+def _run_mp(scale: float, repeat: int, trace_alloc: bool) -> List[BenchResult]:
+    """Multiprocess transport: ring messages/sec and end-to-end events/sec.
+
+    The ``ring_msgs_*`` pair isolates the shm transport itself (same
+    process, same messages): pickle-per-message with per-message cursor
+    publishes versus the struct wire codec with batched publishes.  The
+    ``mp_events_*`` workloads run the token pipeline under the real
+    :class:`ProcessRunner` at increasing process counts, plus one unbatched
+    pickle baseline at the largest count.  Process counts are gated on
+    ``--scale`` so CI smoke runs stay cheap.
+    """
+    from .mp import RING_BATCH, mp_events_workload, ring_workload
+
+    n_msgs = max(2_000, int(100_000 * scale))
+    until = max(10 * US, int(200 * US * scale))
+    results = [
+        measure("ring_msgs_pickle", {"messages": n_msgs, "batch": 1},
+                ring_workload(n_msgs, batched=False),
+                repeat=repeat, trace_alloc=trace_alloc),
+        measure("ring_msgs_batched", {"messages": n_msgs,
+                                      "batch": RING_BATCH},
+                ring_workload(n_msgs, batched=True),
+                repeat=repeat, trace_alloc=trace_alloc),
+    ]
+    if scale >= 0.5:
+        proc_counts = [2, 4, 8]
+    elif scale >= 0.1:
+        proc_counts = [2, 4]
+    else:
+        proc_counts = [2]
+    for n in proc_counts:
+        results.append(measure(
+            f"mp_events_{n}p", {"processes": n, "duration_ps": until},
+            mp_events_workload(n, until, batch=True),
+            repeat=repeat, trace_alloc=trace_alloc))
+    # unbatched pickle baseline at the smallest count: on a single-core
+    # host larger counts measure scheduler contention, not the transport
+    smallest = proc_counts[0]
+    results.append(measure(
+        f"mp_events_{smallest}p_nobatch",
+        {"processes": smallest, "duration_ps": until,
+         "baseline": "pickle_unbatched"},
+        mp_events_workload(smallest, until, batch=False, codec=False),
+        repeat=repeat, trace_alloc=trace_alloc))
+    return results
+
+
 RUNNERS = {
     "kernel": _run_kernel,
+    "mp": _run_mp,
     "netsim": _run_netsim,
     "obs": _run_obs,
     "strict": _run_strict,

@@ -27,11 +27,12 @@ spent waiting / sending / receiving); see :mod:`repro.profiler`.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from itertools import count
 from typing import Callable, Iterable, Optional, TYPE_CHECKING
 
-from .messages import Msg, SyncMsg
+from .messages import Msg, SyncMsg, wire_size_of
 from ..kernel.simtime import TIME_INFINITY
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -43,6 +44,22 @@ if TYPE_CHECKING:  # pragma: no cover
 #: send order — the order the fast-mode shared queue would have used — instead
 #: of channel attach order.
 _send_seq = count(1)
+
+#: Batched fast path over batch-capable transports (the shm rings).  Shared
+#: with forked children: mutate via :func:`set_transport_batching` *before*
+#: the runner forks.  The in-process ``FifoQueue`` transport is never
+#: batched, so the cooperative coordinator's behavior is unaffected.
+_BATCHING = [True]
+
+
+def set_transport_batching(enabled: bool) -> None:
+    """Enable/disable the batched shm fast path for subsequently wired ends."""
+    _BATCHING[0] = bool(enabled)
+
+
+def transport_batching() -> bool:
+    """Whether newly wired batch-capable transports use the batched path."""
+    return _BATCHING[0]
 
 
 class FifoQueue:
@@ -108,6 +125,23 @@ class ChannelEnd:
         self._out_last_stamp = -1
         self._in_horizon = 0
 
+        # Batched-transport state (active only over batch-capable queues,
+        # i.e. the shm rings; see :meth:`wire`).
+        self._out_batched = False
+        self._in_batched = False
+        self._out_batch: Optional[list] = None
+        #: promise to piggyback on the next flushed data frame
+        self._flush_promise = 0
+        #: largest promise the peer has definitely received
+        self._promise_published = -1
+        #: adaptive idle-sync threshold: promise increments below it are
+        #: deferred until the next flush-on-block; backs off toward the
+        #: channel latency while no data flows, resets on every data send
+        self._sync_threshold = self.sync_interval
+        #: pooled SyncMsg reused for every emitted marker on batched ends
+        #: (the ring encodes at flush time, so mutating it later is safe)
+        self._pool_sync: Optional[SyncMsg] = None
+
         # Profiler raw counters (monotonic totals).
         self.tx_msgs = 0
         self.rx_msgs = 0
@@ -126,6 +160,10 @@ class ChannelEnd:
         self.out_q = out_q
         self.in_q = in_q
         self.peer_name = peer_name
+        batching = _BATCHING[0]
+        self._out_batched = batching and hasattr(out_q, "send_batch")
+        self._in_batched = batching and hasattr(in_q, "recv_batch")
+        self._out_batch = [] if self._out_batched else None
 
     # -- sending ----------------------------------------------------------
 
@@ -145,22 +183,93 @@ class ChannelEnd:
             msg.seq = next(_send_seq)
         self._out_last_stamp = stamp
         self.tx_msgs += 1
-        self.tx_bytes += msg.wire_size()
-        self.out_q.push(msg)
+        self.tx_bytes += wire_size_of(msg)
+        batch = self._out_batch
+        if batch is None:
+            self.out_q.push(msg)
+        else:
+            batch.append(msg)
+            # data is flowing again: sync at the configured granularity
+            self._sync_threshold = self.sync_interval
 
     def maybe_sync(self, commit: int) -> None:
-        """Send a sync marker if the outgoing promise has gone stale.
+        """Publish a sync promise if the outgoing one has gone stale.
 
         ``commit`` is the sender's guaranteed lower bound on any future send
-        time; the marker promises delivery stamps ``>= commit + latency``.
+        time; the promise covers delivery stamps ``>= commit + latency``.
+        On legacy (unbatched) transports this immediately emits a
+        :class:`SyncMsg` exactly as before.  On batched transports the
+        promise piggybacks on pending data frames when there are any; when
+        the sender is idle, small promise increments are deferred (adaptive
+        threshold) until either the increment grows past the threshold or
+        the owner is about to block (:meth:`flush` with ``blocked=True``).
         """
         if not self.synchronized or self.out_q is None:
             return
         stamp = commit + self.latency
-        if stamp > self._out_last_stamp:
-            self._out_last_stamp = stamp
+        if stamp <= self._out_last_stamp:
+            return
+        self._out_last_stamp = stamp
+        batch = self._out_batch
+        if batch is None:
             self.tx_syncs += 1
             self.out_q.push(SyncMsg(stamp=stamp))
+            return
+        if batch:
+            self._flush_promise = stamp  # rides the data frames for free
+            return
+        if stamp - self._promise_published < self._sync_threshold:
+            return  # deferred; _out_last_stamp remembers the pending promise
+        self._emit_sync(stamp)
+
+    def _emit_sync(self, stamp: int) -> None:
+        """Queue a pooled sync marker and back off the idle threshold."""
+        self.tx_syncs += 1
+        msg = self._pool_sync
+        if msg is None:
+            msg = self._pool_sync = SyncMsg()
+        msg.stamp = stamp
+        msg.seq = 0
+        self._out_batch.append(msg)
+        # consecutive idle syncs back off toward the latency bound
+        doubled = self._sync_threshold * 2
+        self._sync_threshold = doubled if doubled < self.latency else self.latency
+
+    def flush(self, blocked: bool = False,
+              deadline: Optional[float] = None) -> None:
+        """Publish batched frames (and any deferred promise) to the transport.
+
+        Called by the per-process runner after every advance round; a no-op
+        on legacy transports.  ``blocked=True`` means the owner is about to
+        block (or has finished): any deferred promise is force-published so
+        the peer can keep advancing — this is what keeps the conservative
+        protocol deadlock-free under sync coalescing.
+        """
+        batch = self._out_batch
+        if batch is None:
+            return
+        if not batch:
+            if blocked and self._out_last_stamp > self._promise_published:
+                self._emit_sync(self._out_last_stamp)
+            else:
+                return
+        promise = self._flush_promise
+        sent = self.out_q.send_batch(batch, promise)
+        while sent < len(batch):
+            # ring full: let the consumer drain, then retry the remainder
+            time.sleep(0)
+            if deadline is not None and time.perf_counter() > deadline:
+                raise TimeoutError(
+                    f"{self.name}: peer not draining, flush stuck with "
+                    f"{len(batch) - sent} frames pending")
+            sent += self.out_q.send_batch(batch[sent:], promise)
+        published = batch[-1].stamp
+        if promise > published:
+            published = promise
+        if published > self._promise_published:
+            self._promise_published = published
+        batch.clear()
+        self._flush_promise = 0
 
     # -- receiving --------------------------------------------------------
 
@@ -172,6 +281,22 @@ class ChannelEnd:
         if self.in_q is None:
             return ()  # not wired (yet): no input
         out = []
+        if self._in_batched:
+            # one cursor read/store covers the whole drain; piggybacked
+            # promises raise the horizon exactly like sync markers do
+            hz = self._in_horizon
+            for msg, promise in self.in_q.recv_batch():
+                if msg.stamp > hz:
+                    hz = msg.stamp
+                if promise > hz:
+                    hz = promise
+                if isinstance(msg, SyncMsg):
+                    self.rx_syncs += 1
+                else:
+                    self.rx_msgs += 1
+                    out.append(msg)
+            self._in_horizon = hz
+            return out
         while True:
             msg = self.in_q.pop()
             if msg is None:

@@ -29,6 +29,13 @@ from typing import Any, Optional
 class Msg:
     """Base class for all channel messages."""
 
+    #: Cached :meth:`wire_size` for fixed-size message classes (the common
+    #: case on the per-send hot path); ``None`` on classes whose size
+    #: depends on the payload.  Mirrors the precomputed ``Packet.size_bits``
+    #: treatment: :func:`wire_size_of` reads the class constant and only
+    #: calls the method for variable-size messages.
+    WIRE_SIZE = 32
+
     stamp: int = 0
     #: Global send order (assigned by :meth:`ChannelEnd.send` on synchronized
     #: ends, 0 otherwise).  Breaks same-stamp delivery ties across *different*
@@ -41,9 +48,17 @@ class Msg:
         return 32
 
 
+def wire_size_of(msg: "Msg") -> int:
+    """Wire size of ``msg`` without recomputation for fixed-size classes."""
+    ws = msg.WIRE_SIZE
+    return ws if ws is not None else msg.wire_size()
+
+
 @dataclass
 class SyncMsg(Msg):
     """Pure synchronization marker: promises no earlier message will follow."""
+
+    WIRE_SIZE = 8
 
     def wire_size(self) -> int:  # noqa: D102 - documented on the base class
         return 8
@@ -52,6 +67,8 @@ class SyncMsg(Msg):
 @dataclass
 class EthMsg(Msg):
     """An Ethernet frame, carrying an opaque packet object."""
+
+    WIRE_SIZE = None  # payload-dependent
 
     packet: Any = None
 
@@ -91,6 +108,8 @@ class DmaReadMsg(Msg):
 class DmaWriteMsg(Msg):
     """Device-initiated DMA write into host memory."""
 
+    WIRE_SIZE = None  # payload-dependent
+
     addr: int = 0
     data: Any = None
     length: int = 0
@@ -103,6 +122,8 @@ class DmaWriteMsg(Msg):
 @dataclass
 class DmaCompletionMsg(Msg):
     """Host's completion of a device DMA read (carries the data)."""
+
+    WIRE_SIZE = None  # payload-dependent
 
     data: Any = None
     length: int = 0
@@ -161,6 +182,8 @@ class TrunkMsg(Msg):
     ``subchannel`` identifies the logical link; ``inner`` is the payload
     message (its own stamp field is ignored — the trunk stamp governs).
     """
+
+    WIRE_SIZE = None  # payload-dependent
 
     subchannel: int = 0
     inner: Optional[Msg] = None

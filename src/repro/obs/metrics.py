@@ -226,6 +226,38 @@ def _collect_direction(reg: MetricsRegistry, base: str, direction) -> None:
     reg.gauge(f"{base}.max_depth_bytes").set(float(qs.max_depth_bytes))
 
 
+def collect_mp_transport(results,
+                         registry: Optional[MetricsRegistry] = None
+                         ) -> MetricsRegistry:
+    """Registry over a multiprocess run's per-component transport counters.
+
+    ``results`` is the ``{name: ProcResult}`` mapping returned by
+    :class:`~repro.parallel.procrunner.ProcessRunner`.  Exposes the shm
+    fast-path health numbers — frames per cursor publish, bytes moved, and
+    how often the wire codec fell back to pickle — under
+    ``transport.<component>.*``.
+    """
+    reg = registry if registry is not None else MetricsRegistry()
+    for name, res in sorted(results.items()):
+        transport = getattr(res, "transport", None) or {}
+        base = f"transport.{name}"
+        for key in ("frames_out", "batches_out", "bytes_out",
+                    "frames_in", "batches_in", "bytes_in"):
+            if key in transport:
+                reg.counter(f"{base}.{key}").value = float(transport[key])
+        if "frames_per_batch" in transport:
+            reg.gauge(f"{base}.frames_per_batch").set(
+                float(transport["frames_per_batch"]))
+        if res.wall_seconds > 0 and "bytes_out" in transport:
+            reg.gauge(f"{base}.bytes_per_sec").set(
+                transport["bytes_out"] / res.wall_seconds)
+        wire = transport.get("wire") or {}
+        for key in ("msg_pickle_fallbacks", "payload_pickles"):
+            if key in wire:
+                reg.counter(f"{base}.{key}").value = float(wire[key])
+    return reg
+
+
 def collect_experiment(exp, stats=None) -> MetricsRegistry:
     """Registry over a built :class:`Experiment` (simulation + app layer)."""
     reg = collect_simulation(exp.sim, stats=stats)

@@ -91,6 +91,7 @@ def build_run_report(until_ps: int, wall_seconds: float, results: dict,
             "work_cycles": res.work_cycles,
             "error": res.error,
             "outputs": res.outputs,
+            "transport": getattr(res, "transport", {}),
         }
     return {
         "schema": RUN_REPORT_SCHEMA,

@@ -22,6 +22,7 @@ constructed inside the child process::
 
 from __future__ import annotations
 
+import hashlib
 import json
 import multiprocessing as mp
 import os
@@ -34,8 +35,13 @@ from typing import Callable, Dict, List, Optional, Tuple
 from ..kernel.component import Component
 from .shm_ring import ShmRing
 
-#: Spin iterations between sched-yield sleeps while blocked.
+#: Spin iterations between backoff steps while blocked.
 _SPIN_BATCH = 200
+#: Pure sched-yield rounds before the blocked loop starts sleeping.
+_YIELD_ROUNDS = 8
+#: First real sleep once yields are exhausted; doubles up to the max.
+_NAP_BASE_S = 5e-6
+_NAP_MAX_S = 200e-6
 
 
 @dataclass
@@ -85,7 +91,39 @@ class ProcResult:
     work_cycles: float = 0.0
     end_counters: Dict[str, dict] = field(default_factory=dict)
     outputs: dict = field(default_factory=dict)
+    #: shm transport counters (frames/batches/bytes per direction, summed
+    #: over this component's rings) plus the wire codec's fallback counts
+    transport: dict = field(default_factory=dict)
+    #: SHA-256 of this component's event timeline (``name:ts,ts,...;``),
+    #: filled when the run was started with ``digest=True``
+    timeline_digest: Optional[str] = None
     error: Optional[str] = None
+
+
+def timeline_digest(name: str, timestamps: List[int]) -> str:
+    """SHA-256 of one component's event timeline (``name:ts,ts,...;``).
+
+    Matches the encoding of the in-process determinism guard so strict
+    in-process runs and multiprocess runs can be compared component by
+    component.
+    """
+    payload = name + ":" + ",".join(map(str, timestamps)) + ";"
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def _transport_stats(rings: List[ShmRing]) -> dict:
+    """Aggregate shm-ring counters plus the wire codec's fallback counts."""
+    from ..channels import wire
+    totals = {"frames_out": 0, "batches_out": 0, "bytes_out": 0,
+              "frames_in": 0, "batches_in": 0, "bytes_in": 0}
+    for ring in rings:
+        for key, value in ring.stats().items():
+            totals[key] += value
+    totals["frames_per_batch"] = (
+        totals["frames_out"] / totals["batches_out"]
+        if totals["batches_out"] else 0.0)
+    totals["wire"] = wire.stats()
+    return totals
 
 
 def _find_end(comp: Component, end_name: str):
@@ -167,7 +205,8 @@ def _child_main(spec: ProcSpec,
                 wiring: List[Tuple[str, str, str, str, str]],
                 until_ps: int, result_q, timeout_s: float,
                 telemetry_q=None, trace_dir: Optional[str] = None,
-                hb_interval_s: float = 0.25, index: int = 0) -> None:
+                hb_interval_s: float = 0.25, index: int = 0,
+                digest: bool = False) -> None:
     result = ProcResult(name=spec.name)
     rings: List[ShmRing] = []
     tracer = None
@@ -180,12 +219,17 @@ def _child_main(spec: ProcSpec,
         in_rings: List[ShmRing] = []
         for end_name, out_name, in_name, peer, peer_comp in wiring:
             out_ring = ShmRing.attach(out_name)
-            in_ring = ShmRing.attach(in_name)
-            rings.extend((out_ring, in_ring))
+            rings.append(out_ring)  # appended one by one: a failed attach
+            in_ring = ShmRing.attach(in_name)  # must not orphan the first
+            rings.append(in_ring)
             in_rings.append(in_ring)
             end = _find_end(comp, end_name)
             end.wire(out_q=out_ring, in_q=in_ring, peer_name=peer)
             end.peer_comp_name = peer_comp
+        timeline: Optional[List[int]] = None
+        if digest:
+            timeline = []
+            comp.queue.trace = lambda owner, ts: timeline.append(ts)
         t_start = time.perf_counter()
         run_start_us = 0.0
         if tracer is not None:
@@ -198,31 +242,47 @@ def _child_main(spec: ProcSpec,
             pump = _HeartbeatPump(spec.name, telemetry_q, tracer, comp,
                                   in_rings, t_start, hb_interval_s)
         deadline = t_start + timeout_s
+        ends = comp.ends
         wait_ns = 0
         last_commit = -1
         while True:
             commit = comp.advance(until_ps)
+            done = commit >= until_ps
+            blocked = commit == last_commit
+            # Publish this round's batched frames; when finished or about
+            # to block, also force out any deferred sync promise so the
+            # peer never stalls on a promise we computed but coalesced.
+            for e in ends:
+                e.flush(blocked=done or blocked, deadline=deadline)
             if pump is not None:
                 pump.maybe(commit, waiting=False)
-            if commit >= until_ps:
+            if done:
                 break
-            if commit == last_commit:
-                # Blocked: busy-poll inputs, measuring real wait time.
+            if blocked:
+                # Blocked: poll inputs with spin -> yield -> sleep
+                # escalation, measuring real wait time.
                 blocking = comp.blocking_ends()
                 if not blocking:
                     continue
                 t0 = time.perf_counter_ns()
                 spins = 0
+                naps = 0
                 while all(e.in_q.empty() for e in blocking):
                     spins += 1
-                    if spins % _SPIN_BATCH == 0:
+                    if spins % _SPIN_BATCH:
+                        continue
+                    if naps < _YIELD_ROUNDS:
                         time.sleep(0)
-                        if pump is not None:
-                            pump.maybe(commit, waiting=True)
-                        if time.perf_counter() > deadline:
-                            raise TimeoutError(
-                                f"{spec.name} stuck at commit={commit}"
-                            )
+                    else:
+                        step = min(naps - _YIELD_ROUNDS, 6)
+                        time.sleep(min(_NAP_MAX_S, _NAP_BASE_S * (1 << step)))
+                    naps += 1
+                    if pump is not None:
+                        pump.maybe(commit, waiting=True)
+                    if time.perf_counter() > deadline:
+                        raise TimeoutError(
+                            f"{spec.name} stuck at commit={commit}"
+                        )
                 dt = time.perf_counter_ns() - t0
                 wait_ns += dt
                 share = dt / max(1, len(blocking))
@@ -243,6 +303,9 @@ def _child_main(spec: ProcSpec,
         result.wait_seconds = wait_ns / 1e9
         result.work_cycles = comp.work_cycles
         result.end_counters = {e.name: e.counters() for e in comp.ends}
+        result.transport = _transport_stats(rings)
+        if timeline is not None:
+            result.timeline_digest = timeline_digest(spec.name, timeline)
         collect = getattr(comp, "collect_outputs", None)
         if collect is not None:
             result.outputs = collect()
@@ -278,7 +341,8 @@ class ProcessRunner:
     def run(self, until_ps: int, timeout_s: float = 120.0, *,
             progress: bool = False, report_path: Optional[str] = None,
             trace_dir: Optional[str] = None,
-            hb_interval_s: float = 0.25) -> Dict[str, ProcResult]:
+            hb_interval_s: float = 0.25,
+            digest: bool = False) -> Dict[str, ProcResult]:
         """Run all components to ``until_ps``; returns per-component results.
 
         Parameters
@@ -294,6 +358,9 @@ class ProcessRunner:
         hb_interval_s:
             Child heartbeat period; heartbeats are only collected when
             ``progress`` or ``report_path`` is requested.
+        digest:
+            Record each child's event timeline and return its SHA-256 in
+            ``ProcResult.timeline_digest`` (determinism checks).
         """
         ctx = mp.get_context("fork")
         rings: List[ShmRing] = []
@@ -315,9 +382,12 @@ class ProcessRunner:
                                    clock="wall")
         try:
             for ch in self.channels:
+                # append as soon as each ring exists: if the second create
+                # fails, the finally below still unlinks the first
                 r_ab = ShmRing.create(self.ring_bytes)
+                rings.append(r_ab)
                 r_ba = ShmRing.create(self.ring_bytes)
-                rings.extend((r_ab, r_ba))
+                rings.append(r_ba)
                 wiring[ch.comp_a].append(
                     (ch.end_a, r_ab.name, r_ba.name, ch.end_b, ch.comp_b))
                 wiring[ch.comp_b].append(
@@ -332,7 +402,7 @@ class ProcessRunner:
                     target=_child_main,
                     args=(spec, wiring[spec.name], until_ps, result_q,
                           timeout_s, telemetry_q, trace_dir, hb_interval_s,
-                          index),
+                          index, digest),
                     name=f"splitsim-{spec.name}",
                 )
                 for index, spec in enumerate(self.specs)
@@ -384,8 +454,13 @@ class ProcessRunner:
             return results
         finally:
             for ring in rings:
-                ring.close()
-                ring.unlink()
+                # close/unlink are idempotent and must not mask each other:
+                # every segment gets its unlink attempt even if an earlier
+                # ring's close misbehaves
+                try:
+                    ring.close()
+                finally:
+                    ring.unlink()
 
     def _drain_telemetry(self, telemetry_q, aggregator,
                          progress: bool) -> None:

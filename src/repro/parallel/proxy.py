@@ -25,7 +25,7 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from ..channels.channel import ChannelEnd
-from ..channels.messages import Msg, TrunkMsg
+from ..channels.messages import Msg, TrunkMsg, wire_size_of
 from ..channels.trunk import TrunkEnd
 from ..kernel.component import Component
 from ..kernel.simtime import US, bits_time
@@ -68,7 +68,7 @@ class Proxy(Component):
             self._wire_send(sub_id, msg)
             return
         start = max(self.now, self._wire_busy_until)
-        delay = bits_time(msg.wire_size() * 8, self.wire_bandwidth_bps)
+        delay = bits_time(wire_size_of(msg) * 8, self.wire_bandwidth_bps)
         self._wire_busy_until = start + delay
         self.schedule(start + delay, self._wire_send, sub_id, msg)
 

@@ -54,3 +54,57 @@ def test_compare_docs_ratios():
                                    "extra": {}}]}
     ratios = compare_docs(mk(100.0), mk(250.0))
     assert ratios["w"]["events_per_sec"] == 2.5
+
+
+def test_strict_bench_json_schema(tmp_path):
+    doc = run_bench(tmp_path, "strict")
+    assert doc["bench"] == "strict"
+    names = [r["name"] for r in doc["results"]]
+    assert names == ["strict_pingpong", "strict_mixed"]
+    for r in doc["results"]:
+        assert r["events"] > 0 and r["events_per_sec"] > 0
+
+
+def test_mp_bench_json_schema(tmp_path):
+    doc = run_bench(tmp_path, "mp")
+    assert doc["bench"] == "mp"
+    names = [r["name"] for r in doc["results"]]
+    # tiny scale: one ring pair, 2-process e2e, plus the unbatched baseline
+    assert names == ["ring_msgs_pickle", "ring_msgs_batched",
+                     "mp_events_2p", "mp_events_2p_nobatch"]
+    by_name = {r["name"]: r for r in doc["results"]}
+    for r in doc["results"]:
+        assert r["events"] > 0 and r["events_per_sec"] > 0
+    assert by_name["ring_msgs_batched"]["extra"]["frames_per_batch"] == 64
+    assert by_name["ring_msgs_pickle"]["extra"]["frames_per_batch"] == 1
+    assert by_name["mp_events_2p"]["extra"]["messages"] > 0
+    # batching really batched: more than one frame per cursor publish
+    assert by_name["mp_events_2p"]["extra"]["frames_per_batch"] > 1.0
+
+
+def _committed(name):
+    import os
+    path = os.path.join(os.path.dirname(__file__), "..",
+                        "benchmarks", "perf", name)
+    return load_json(os.path.abspath(path))
+
+
+def test_committed_bench_mp_document():
+    """The committed BENCH_mp.json must show the >=3x ring speedup."""
+    doc = _committed("BENCH_mp.json")
+    assert doc["schema"] == 1 and doc["bench"] == "mp"
+    by_name = {r["name"]: r for r in doc["results"]}
+    pickle_rate = by_name["ring_msgs_pickle"]["events_per_sec"]
+    batched_rate = by_name["ring_msgs_batched"]["events_per_sec"]
+    assert pickle_rate > 0
+    assert batched_rate >= 3.0 * pickle_rate
+    assert "mp_events_2p" in by_name
+
+
+def test_committed_bench_strict_document():
+    doc = _committed("BENCH_strict.json")
+    assert doc["schema"] == 1 and doc["bench"] == "strict"
+    names = {r["name"] for r in doc["results"]}
+    assert names == {"strict_pingpong", "strict_mixed"}
+    for r in doc["results"]:
+        assert r["events"] > 0 and r["events_per_sec"] > 0

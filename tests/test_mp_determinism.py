@@ -1,0 +1,53 @@
+"""Multiprocess determinism pin: mp event timelines == strict in-process.
+
+The strongest correctness property of the batched transport: running the
+token pipeline as real OS processes over shared-memory rings — with frame
+batching, sync coalescing, and the struct wire codec all active — produces
+*bit-identical* per-component event timelines (SHA-256 over every executed
+event's timestamp) to the strict in-process coordinator.  And it must stay
+identical with the codec forced off (everything pickled), proving the
+codec and the batching are pure transport optimizations with zero effect
+on simulated behaviour.
+"""
+
+import pytest
+
+from repro.bench.mp import inproc_strict_digests, mp_digests
+from repro.channels import wire
+from repro.channels.channel import set_transport_batching
+from repro.kernel.simtime import US
+
+DURATION = 50 * US
+N_PROCS = 4
+
+
+@pytest.fixture(autouse=True)
+def _restore_toggles():
+    yield
+    wire.set_codec_enabled(True)
+    set_transport_batching(True)
+
+
+@pytest.mark.parametrize("codec", [True, False],
+                         ids=["codec_on", "codec_off"])
+def test_mp_matches_inproc_strict(codec):
+    wire.set_codec_enabled(codec)
+    expected = inproc_strict_digests(N_PROCS, DURATION)
+    got = mp_digests(N_PROCS, DURATION)
+    assert got == expected
+    assert len(expected) == N_PROCS
+    assert all(d for d in expected.values())
+
+
+def test_mp_matches_inproc_strict_unbatched():
+    # legacy per-message transport path (no send_batch/recv_batch use)
+    set_transport_batching(False)
+    expected = inproc_strict_digests(N_PROCS, DURATION)
+    got = mp_digests(N_PROCS, DURATION)
+    assert got == expected
+
+
+def test_digest_depends_on_timeline():
+    a = inproc_strict_digests(2, DURATION)
+    b = inproc_strict_digests(2, DURATION // 2)
+    assert a != b

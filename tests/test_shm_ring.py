@@ -91,3 +91,148 @@ def test_roundtrip_property(blobs):
     finally:
         ring.close()
         ring.unlink()
+
+
+# -- batched API -------------------------------------------------------------
+
+def test_send_batch_recv_batch_fifo(ring):
+    msgs = [RawMsg(stamp=i, payload=i) for i in range(25)]
+    assert ring.send_batch(msgs) == 25
+    got = ring.recv_batch()
+    assert [m.payload for m, _ in got] == list(range(25))
+    assert ring.recv_batch() == []
+
+
+def test_promise_rides_last_frame(ring):
+    msgs = [RawMsg(stamp=i) for i in range(5)]
+    ring.send_batch(msgs, promise=999)
+    promises = [p for _, p in ring.recv_batch()]
+    assert promises == [0, 0, 0, 0, 999]
+
+
+def test_push_carries_promise(ring):
+    ring.push(SyncMsg(stamp=40), promise=40)
+    ((msg, promise),) = ring.recv_batch()
+    assert isinstance(msg, SyncMsg)
+    assert msg.stamp == 40 and promise == 40
+
+
+def test_recv_batch_max_msgs(ring):
+    ring.send_batch([RawMsg(stamp=i) for i in range(10)])
+    assert len(ring.recv_batch(max_msgs=3)) == 3
+    assert len(ring.recv_batch()) == 7
+
+
+def test_partial_batch_write_and_retry():
+    with ShmRing.create(size_bytes=512) as ring:
+        msgs = [RawMsg(stamp=i, payload=b"z" * 40) for i in range(40)]
+        sent = ring.send_batch(msgs, promise=77)
+        assert 0 < sent < len(msgs)
+        got = ring.recv_batch()
+        assert len(got) == sent
+        # partial batch: the promise stays with the unsent tail
+        assert all(p == 0 for _, p in got)
+        # retry loop (what ChannelEnd.flush does): promise follows the tail
+        done = sent
+        got = []
+        while done < len(msgs):
+            n = ring.send_batch(msgs[done:], promise=77)
+            assert n > 0  # consumer drained, so progress is guaranteed
+            done += n
+            got.extend(ring.recv_batch())
+        assert [m.stamp for m, _ in got] == list(range(sent, len(msgs)))
+        assert got[-1][1] == 77
+
+
+def test_oversized_frame_raises(ring):
+    with pytest.raises(ValueError):
+        ring.push(RawMsg(payload=b"x" * 8192))
+
+
+def test_batch_wraparound_roundtrip():
+    with ShmRing.create(size_bytes=1024) as ring:
+        sent_payloads, got_payloads = [], []
+        for round_no in range(50):
+            batch = [RawMsg(stamp=round_no * 8 + i, payload=(round_no, i))
+                     for i in range(8)]
+            n = ring.send_batch(batch)
+            sent_payloads.extend(m.payload for m in batch[:n])
+            got_payloads.extend(m.payload for m, _ in ring.recv_batch())
+        assert got_payloads == sent_payloads
+        assert len(got_payloads) >= 8 * 50 - 8
+
+
+def test_transport_counters(ring):
+    ring.send_batch([RawMsg(stamp=i) for i in range(6)])
+    ring.push(RawMsg(stamp=6))
+    ring.recv_batch()
+    s = ring.stats()
+    assert s["frames_out"] == 7
+    assert s["batches_out"] == 2
+    assert s["frames_in"] == 7
+    assert s["batches_in"] == 1
+    assert s["bytes_out"] == s["bytes_in"] > 0
+
+
+# -- lifecycle ---------------------------------------------------------------
+
+def _shm_segments():
+    import os
+    path = "/dev/shm"
+    if not os.path.isdir(path):  # pragma: no cover - non-Linux
+        pytest.skip("no /dev/shm on this platform")
+    return {n for n in os.listdir(path) if n.startswith("psm_")}
+
+
+def test_context_manager_unlinks_segment():
+    before = _shm_segments()
+    with ShmRing.create(size_bytes=4096) as ring:
+        ring.push(RawMsg(payload=1))
+        assert _shm_segments() - before  # segment exists while open
+    assert _shm_segments() <= before
+
+
+def test_close_and_unlink_idempotent():
+    ring = ShmRing.create(size_bytes=4096)
+    ring.close()
+    ring.close()
+    ring.unlink()
+    ring.unlink()
+
+
+def test_attacher_never_unlinks():
+    creator = ShmRing.create(size_bytes=4096)
+    try:
+        attacher = ShmRing.attach(creator.name)
+        attacher.unlink()  # no-op: only the creator owns the segment
+        attacher.close()
+        # creator still works
+        creator.push(RawMsg(payload="still here"))
+        assert creator.pop().payload == "still here"
+    finally:
+        creator.close()
+        creator.unlink()
+
+
+def test_attach_missing_segment_raises_cleanly():
+    before = _shm_segments()
+    with pytest.raises(FileNotFoundError):
+        ShmRing.attach("psm_does_not_exist_splitsim")
+    assert _shm_segments() <= before
+
+
+def _crashing_factory(name):
+    raise RuntimeError("child construction failed")
+
+
+def test_runner_unlinks_segments_when_child_crashes():
+    """Regression: a failed child must not leak /dev/shm segments."""
+    from repro.parallel.procrunner import (ProcChannel, ProcSpec,
+                                           ProcessRunner)
+    before = _shm_segments()
+    specs = [ProcSpec("a", _crashing_factory, ("a",)),
+             ProcSpec("b", _crashing_factory, ("b",))]
+    runner = ProcessRunner(specs, [ProcChannel("a", "a.e", "b", "b.e")])
+    with pytest.raises(RuntimeError, match="component failures"):
+        runner.run(until_ps=1000, timeout_s=30)
+    assert _shm_segments() <= before

@@ -91,3 +91,91 @@ def test_trunk_wire_size_includes_inner():
     inner = RawMsg(payload="abc")
     tm = TrunkMsg(subchannel=1, inner=inner)
     assert tm.wire_size() >= inner.wire_size()
+
+
+# -- trunk multiplexing over the real shm transport --------------------------
+
+from repro.channels import wire
+from repro.parallel.shm_ring import ShmRing
+
+
+@pytest.fixture
+def shm_trunks():
+    a = TrunkEnd("ta", latency=10 * NS)
+    b = TrunkEnd("tb", latency=10 * NS)
+    with ShmRing.create(1 << 16) as ring_ab, \
+            ShmRing.create(1 << 16) as ring_ba:
+        a.wire(out_q=ring_ab, in_q=ring_ba, peer_name=b.name)
+        b.wire(out_q=ring_ba, in_q=ring_ab, peer_name=a.name)
+        yield a, b
+
+
+def test_shm_mux_demux_roundtrip(shm_trunks):
+    a, b = shm_trunks
+    wire.reset_stats()
+    got = {0: [], 1: []}
+    b.port(0).on_receive(lambda m: got[0].append(m.payload))
+    b.port(1).on_receive(lambda m: got[1].append(m.payload))
+    a.port(0).send(RawMsg(payload=b"x"), now=0)
+    a.port(1).send(RawMsg(payload=b"y"), now=5)
+    a.port(0).send(RawMsg(payload=b"z"), now=7)
+    a.flush()
+    for msg in b.poll():
+        b.dispatch(msg)
+    assert got == {0: [b"x", b"z"], 1: [b"y"]}
+    # trunk frames (and their nested RawMsg) stayed on the struct fast path
+    assert wire.stats()["msg_pickle_fallbacks"] == 0
+
+
+def test_shm_inner_stamp_follows_trunk_stamp(shm_trunks):
+    a, b = shm_trunks
+    seen = []
+    b.port(3).on_receive(lambda m: seen.append(m.stamp))
+    a.port(3).send(RawMsg(), now=100 * NS)
+    a.flush()
+    for msg in b.poll():
+        b.dispatch(msg)
+    assert seen == [110 * NS]
+
+
+def test_shm_promise_piggybacks_on_data(shm_trunks):
+    """With data pending, the sync promise rides the frames: no SyncMsg."""
+    a, b = shm_trunks
+    b.port(0).on_receive(lambda m: None)
+    a.port(0).send(RawMsg(), now=0)
+    a.maybe_sync(commit=50 * NS)
+    a.flush()
+    assert a.tx_syncs == 0  # coalesced away entirely
+    for msg in b.poll():
+        b.dispatch(msg)
+    assert b.horizon() == 60 * NS
+    assert b.rx_syncs == 0
+
+
+def test_shm_idle_sync_forced_on_block(shm_trunks):
+    """An idle sender's deferred promise is force-published when blocking."""
+    a, b = shm_trunks
+    a.maybe_sync(commit=0)  # first promise: always past the threshold
+    a.flush()
+    assert a.tx_syncs == 1
+    list(b.poll())
+    assert b.horizon() == 10 * NS
+    a.maybe_sync(commit=2 * NS)  # small increment: deferred
+    a.flush(blocked=False)
+    list(b.poll())
+    assert a.tx_syncs == 1 and b.horizon() == 10 * NS  # nothing published
+    a.flush(blocked=True)  # about to block: promise must go out
+    assert a.tx_syncs == 2
+    list(b.poll())
+    assert b.horizon() == 12 * NS
+
+
+def test_shm_single_sync_covers_all_ports(shm_trunks):
+    a, b = shm_trunks
+    for i in range(8):
+        a.port(i)
+    a.maybe_sync(commit=50 * NS)
+    a.flush(blocked=True)
+    assert a.tx_syncs == 1
+    list(b.poll())
+    assert b.horizon() == 60 * NS
