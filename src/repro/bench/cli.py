@@ -109,23 +109,35 @@ def _run_strict(scale: float, repeat: int, trace_alloc: bool) -> List[BenchResul
 def _run_obs(scale: float, repeat: int, trace_alloc: bool) -> List[BenchResult]:
     """Tracing cost: the strict mixed workload untraced vs flight-recorded.
 
-    Both variants run the identical event timeline (the determinism guard
+    All variants run the identical event timeline (the determinism guard
     pins this); the traced one additionally streams kernel drains, strict
     counter samples and netsim busy/drop records into the bounded ring.
+    The ``flows`` variants add causal flow-hop recording on top:
+    ``flows_unsampled`` installs the recorder with a divisor so large no
+    flow is kept — isolating the pure tagging/sampling-test cost that
+    ``benchmarks/perf/test_obs_overhead.py`` bounds — while
+    ``flows_sampled`` records every flow.
     """
     duration = max(1, int(1 * MS * scale))
 
-    def variant(traced: bool):
+    def variant(traced: bool, flow_sample=None):
         def workload():
+            from ..obs.flows import uninstall_flow_recorder
             from ..orchestration.instantiate import Instantiation
             exp = Instantiation(build_mixed_system(), mode="strict",
-                                trace=traced).build()
+                                trace=traced,
+                                flow_sample=flow_sample).build()
             state: Dict[str, int] = {}
 
             def run():
-                result = exp.run(duration)
+                try:
+                    result = exp.run(duration)
+                finally:
+                    if exp.flow_recorder is not None:
+                        state["flow_hops"] = exp.flow_recorder.emitted
+                        uninstall_flow_recorder()
                 state["events"] = result.stats.events
-                if traced:
+                if exp.tracer is not None:
                     state["trace_records"] = len(exp.tracer)
                     state["trace_dropped"] = exp.tracer.dropped
 
@@ -137,6 +149,12 @@ def _run_obs(scale: float, repeat: int, trace_alloc: bool) -> List[BenchResult]:
                 variant(False), repeat=repeat, trace_alloc=trace_alloc),
         measure("strict_mixed_traced", {"duration_ps": duration},
                 variant(True), repeat=repeat, trace_alloc=trace_alloc),
+        measure("strict_mixed_flows_unsampled", {"duration_ps": duration},
+                variant(True, flow_sample=1 << 23),
+                repeat=repeat, trace_alloc=trace_alloc),
+        measure("strict_mixed_flows_sampled", {"duration_ps": duration},
+                variant(True, flow_sample=1),
+                repeat=repeat, trace_alloc=trace_alloc),
     ]
 
 

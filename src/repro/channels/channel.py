@@ -34,6 +34,7 @@ from typing import Callable, Iterable, Optional, TYPE_CHECKING
 
 from .messages import Msg, SyncMsg, wire_size_of
 from ..kernel.simtime import TIME_INFINITY
+from ..obs.flows import _ACTIVE as _FLOWS
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..kernel.component import Component
@@ -182,6 +183,13 @@ class ChannelEnd:
             # queue and skips the counter bump on its per-message hot path
             msg.seq = next(_send_seq)
         self._out_last_stamp = stamp
+        rec = _FLOWS[0]
+        if rec is not None and msg.flow:
+            msg.hop = rec.next_hop(msg.flow)
+            owner = self.owner
+            rec.hop(msg.flow, "chsend",
+                    owner.name if owner is not None else "?", now,
+                    at=self.name, hop=msg.hop)
         self.tx_msgs += 1
         self.tx_bytes += wire_size_of(msg)
         batch = self._out_batch

@@ -42,6 +42,17 @@ class Msg:
     #: channels of one receiver so the strict sync protocol dispatches them in
     #: the same order as the fast-mode oracle.
     seq: int = 0
+    #: Causal flow id (``repro.obs.flows``): nonzero when the message belongs
+    #: to a traced end-to-end flow.  Assigned at the message origin (app send,
+    #: TCP segment birth) and propagated across every channel crossing — and
+    #: through the struct wire codec — so per-hop records from different
+    #: processes can be stitched back into one flow.  ``0`` = untagged; the
+    #: field never influences simulated behaviour.
+    flow: int = 0
+    #: Channel-crossing index of this message within its flow (provenance
+    #: ordering hint for the waterfall view).  Like ``flow``, purely
+    #: observational.
+    hop: int = 0
 
     def wire_size(self) -> int:
         """Estimated serialized bytes (shm slot sizing + transfer cost)."""

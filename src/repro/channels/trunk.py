@@ -18,6 +18,7 @@ from typing import Callable, Dict, Optional
 
 from .channel import ChannelEnd
 from .messages import Msg, TrunkMsg
+from ..obs.flows import _ACTIVE as _FLOWS
 
 
 class TrunkPort:
@@ -33,7 +34,13 @@ class TrunkPort:
     def send(self, msg: Msg, now: int) -> None:
         """Send ``msg`` over this logical link."""
         self.tx_msgs += 1
-        self.trunk.send(TrunkMsg(subchannel=self.sub_id, inner=msg), now)
+        tm = TrunkMsg(subchannel=self.sub_id, inner=msg)
+        if msg.flow:
+            # mux: the wrapper inherits the inner provenance so trunk-level
+            # records (and the wire frame) stay attributable to the flow
+            tm.flow = msg.flow
+            tm.hop = msg.hop
+        self.trunk.send(tm, now)
 
     def on_receive(self, handler: Callable[[Msg], None]) -> "TrunkPort":
         """Register the callback invoked for each delivered inner message."""
@@ -82,4 +89,10 @@ class TrunkEnd(ChannelEnd):
             )
         inner = msg.inner
         inner.stamp = msg.stamp
+        rec = _FLOWS[0]
+        if rec is not None and inner.flow:
+            owner = self.owner
+            rec.hop(inner.flow, "demux",
+                    owner.name if owner is not None else "?", msg.stamp,
+                    at=self.name)
         port._deliver(inner)

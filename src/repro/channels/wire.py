@@ -78,19 +78,23 @@ _HDR = Struct("<BQ")
 _HDR_SIZE = _HDR.size
 _LEN32 = Struct("<I")
 
-# Common body prefix (stamp, seq) and per-class field layouts.
-_S_BASE = Struct("<QQ")
-_S_MMIO = Struct("<QQQQBI")        # + addr, value, is_write, req_id
-_S_MMIO_RESP = Struct("<QQQI")     # + value, req_id
-_S_ADDR_LEN_REQ = Struct("<QQQII") # + addr, length, req_id
-_S_DMA_COMP = Struct("<QQII")      # + length, req_id
-_S_INTR = Struct("<QQI")           # + vector
-_S_MEM_RESP = Struct("<QQIB")      # + req_id, is_write
-_S_MEM_INV = Struct("<QQQ")        # + addr
-_S_TRUNK = Struct("<QQIB")         # + subchannel, has_inner
+# Common body prefix (stamp, seq, flow, hop) and per-class field layouts.
+# ``flow``/``hop`` are the causal-provenance header fields (repro.obs.flows):
+# fixed-layout u64/u16 so flow-tagged traffic NEVER leaves the struct fast
+# path — tagging a message must not demote it to the pickle frame.
+_S_BASE = Struct("<QQQH")
+_S_MMIO = Struct("<QQQHQQBI")        # + addr, value, is_write, req_id
+_S_MMIO_RESP = Struct("<QQQHQI")     # + value, req_id
+_S_ADDR_LEN_REQ = Struct("<QQQHQII") # + addr, length, req_id
+_S_DMA_COMP = Struct("<QQQHII")      # + length, req_id
+_S_INTR = Struct("<QQQHI")           # + vector
+_S_MEM_RESP = Struct("<QQQHIB")      # + req_id, is_write
+_S_MEM_INV = Struct("<QQQHQ")        # + addr
+_S_TRUNK = Struct("<QQQHIB")         # + subchannel, has_inner
 # Packet fast path: src, dst, size_bytes, src_port, dst_port, seq, ack,
-# wnd, data_len, ecn bits, residence_ps, arrival_ts, create_ts, hops, uid
-_S_PACKET = Struct("<QQIHHQQIIBQQQHQ")
+# wnd, data_len, ecn bits, residence_ps, arrival_ts, create_ts, hops, uid,
+# flow
+_S_PACKET = Struct("<QQIHHQQIIBQQQHQQ")
 
 #: Payload-tail kinds.
 _TAIL_NONE = b"\x00"
@@ -179,7 +183,7 @@ def _unpack_str(buf: bytes, off: int) -> Tuple[str, int]:
 # stamp/seq base prefix, then subclass fields in declaration order).
 
 def _enc_msg(m: Msg, p: int) -> bytes:
-    return _HDR.pack(0x01, p) + _S_BASE.pack(m.stamp, m.seq)
+    return _HDR.pack(0x01, p) + _S_BASE.pack(m.stamp, m.seq, m.flow, m.hop)
 
 
 def _dec_msg(buf: bytes, off: int) -> Msg:
@@ -187,7 +191,7 @@ def _dec_msg(buf: bytes, off: int) -> Msg:
 
 
 def _enc_sync(m: SyncMsg, p: int) -> bytes:
-    return _HDR.pack(0x02, p) + _S_BASE.pack(m.stamp, m.seq)
+    return _HDR.pack(0x02, p) + _S_BASE.pack(m.stamp, m.seq, m.flow, m.hop)
 
 
 def _dec_sync(buf: bytes, off: int) -> SyncMsg:
@@ -195,7 +199,7 @@ def _dec_sync(buf: bytes, off: int) -> SyncMsg:
 
 
 def _enc_eth(m: EthMsg, p: int) -> bytes:
-    parts = [_HDR.pack(0x03, p), _S_BASE.pack(m.stamp, m.seq)]
+    parts = [_HDR.pack(0x03, p), _S_BASE.pack(m.stamp, m.seq, m.flow, m.hop)]
     pkt = m.packet
     if pkt is None:
         parts.append(_TAIL_NONE)
@@ -206,7 +210,7 @@ def _enc_eth(m: EthMsg, p: int) -> bytes:
             pkt.seq, pkt.ack, pkt.wnd, pkt.data_len,
             pkt.ect | (pkt.ce << 1) | (pkt.ece << 2),
             pkt.residence_ps, pkt.arrival_ts, pkt.create_ts, pkt.hops,
-            pkt.uid))
+            pkt.uid, pkt.flow))
         parts.append(_pack_str(pkt.proto))
         parts.append(_pack_str(pkt.flags))
         _pack_tail(parts, pkt.payload)
@@ -221,19 +225,20 @@ def _enc_eth(m: EthMsg, p: int) -> bytes:
 
 
 def _dec_eth(buf: bytes, off: int) -> EthMsg:
-    stamp, seq = _S_BASE.unpack_from(buf, off)
+    stamp, seq, flow, hop = _S_BASE.unpack_from(buf, off)
     off += _S_BASE.size
     kind = buf[off]
     off += 1
     if kind == 0:
-        return EthMsg(stamp, seq, None)
+        return EthMsg(stamp, seq, flow, hop, None)
     if kind == 2:
         (length,) = _LEN32.unpack_from(buf, off)
         off += 4
-        return EthMsg(stamp, seq, pickle.loads(buf[off:off + length]))
+        return EthMsg(stamp, seq, flow, hop,
+                      pickle.loads(buf[off:off + length]))
     (src, dst, size_bytes, src_port, dst_port, pseq, ack, wnd, data_len,
      ecn, residence_ps, arrival_ts, create_ts, hops,
-     uid) = _S_PACKET.unpack_from(buf, off)
+     uid, pflow) = _S_PACKET.unpack_from(buf, off)
     off += _S_PACKET.size
     proto, off = _unpack_str(buf, off)
     flags, off = _unpack_str(buf, off)
@@ -241,23 +246,25 @@ def _dec_eth(buf: bytes, off: int) -> EthMsg:
     pkt = Packet(src, dst, size_bytes, proto, src_port, dst_port, pseq, ack,
                  flags, wnd, data_len, bool(ecn & 1), bool(ecn & 2),
                  bool(ecn & 4), residence_ps, arrival_ts, payload, create_ts,
-                 hops, uid)
-    return EthMsg(stamp, seq, pkt)
+                 hops, uid, pflow)
+    return EthMsg(stamp, seq, flow, hop, pkt)
 
 
 def _enc_mmio(m: MmioMsg, p: int) -> bytes:
     return _HDR.pack(0x04, p) + _S_MMIO.pack(
-        m.stamp, m.seq, m.addr, m.value, 1 if m.is_write else 0, m.req_id)
+        m.stamp, m.seq, m.flow, m.hop, m.addr, m.value,
+        1 if m.is_write else 0, m.req_id)
 
 
 def _dec_mmio(buf: bytes, off: int) -> MmioMsg:
-    stamp, seq, addr, value, is_write, req_id = _S_MMIO.unpack_from(buf, off)
-    return MmioMsg(stamp, seq, addr, value, bool(is_write), req_id)
+    (stamp, seq, flow, hop, addr, value, is_write,
+     req_id) = _S_MMIO.unpack_from(buf, off)
+    return MmioMsg(stamp, seq, flow, hop, addr, value, bool(is_write), req_id)
 
 
 def _enc_mmio_resp(m: MmioRespMsg, p: int) -> bytes:
     return _HDR.pack(0x05, p) + _S_MMIO_RESP.pack(
-        m.stamp, m.seq, m.value, m.req_id)
+        m.stamp, m.seq, m.flow, m.hop, m.value, m.req_id)
 
 
 def _dec_mmio_resp(buf: bytes, off: int) -> MmioRespMsg:
@@ -266,7 +273,7 @@ def _dec_mmio_resp(buf: bytes, off: int) -> MmioRespMsg:
 
 def _enc_dma_read(m: DmaReadMsg, p: int) -> bytes:
     return _HDR.pack(0x06, p) + _S_ADDR_LEN_REQ.pack(
-        m.stamp, m.seq, m.addr, m.length, m.req_id)
+        m.stamp, m.seq, m.flow, m.hop, m.addr, m.length, m.req_id)
 
 
 def _dec_dma_read(buf: bytes, off: int) -> DmaReadMsg:
@@ -275,32 +282,35 @@ def _dec_dma_read(buf: bytes, off: int) -> DmaReadMsg:
 
 def _enc_dma_write(m: DmaWriteMsg, p: int) -> bytes:
     parts = [_HDR.pack(0x07, p),
-             _S_ADDR_LEN_REQ.pack(m.stamp, m.seq, m.addr, m.length, m.req_id)]
+             _S_ADDR_LEN_REQ.pack(m.stamp, m.seq, m.flow, m.hop, m.addr, m.length, m.req_id)]
     _pack_tail(parts, m.data)
     return b"".join(parts)
 
 
 def _dec_dma_write(buf: bytes, off: int) -> DmaWriteMsg:
-    stamp, seq, addr, length, req_id = _S_ADDR_LEN_REQ.unpack_from(buf, off)
+    (stamp, seq, flow, hop, addr, length,
+     req_id) = _S_ADDR_LEN_REQ.unpack_from(buf, off)
     data, _ = _unpack_tail(buf, off + _S_ADDR_LEN_REQ.size)
-    return DmaWriteMsg(stamp, seq, addr, data, length, req_id)
+    return DmaWriteMsg(stamp, seq, flow, hop, addr, data, length, req_id)
 
 
 def _enc_dma_comp(m: DmaCompletionMsg, p: int) -> bytes:
     parts = [_HDR.pack(0x08, p),
-             _S_DMA_COMP.pack(m.stamp, m.seq, m.length, m.req_id)]
+             _S_DMA_COMP.pack(m.stamp, m.seq, m.flow, m.hop,
+                              m.length, m.req_id)]
     _pack_tail(parts, m.data)
     return b"".join(parts)
 
 
 def _dec_dma_comp(buf: bytes, off: int) -> DmaCompletionMsg:
-    stamp, seq, length, req_id = _S_DMA_COMP.unpack_from(buf, off)
+    stamp, seq, flow, hop, length, req_id = _S_DMA_COMP.unpack_from(buf, off)
     data, _ = _unpack_tail(buf, off + _S_DMA_COMP.size)
-    return DmaCompletionMsg(stamp, seq, data, length, req_id)
+    return DmaCompletionMsg(stamp, seq, flow, hop, data, length, req_id)
 
 
 def _enc_intr(m: InterruptMsg, p: int) -> bytes:
-    return _HDR.pack(0x09, p) + _S_INTR.pack(m.stamp, m.seq, m.vector)
+    return _HDR.pack(0x09, p) + _S_INTR.pack(
+        m.stamp, m.seq, m.flow, m.hop, m.vector)
 
 
 def _dec_intr(buf: bytes, off: int) -> InterruptMsg:
@@ -309,7 +319,7 @@ def _dec_intr(buf: bytes, off: int) -> InterruptMsg:
 
 def _enc_mem_read(m: MemReadMsg, p: int) -> bytes:
     return _HDR.pack(0x0A, p) + _S_ADDR_LEN_REQ.pack(
-        m.stamp, m.seq, m.addr, m.length, m.req_id)
+        m.stamp, m.seq, m.flow, m.hop, m.addr, m.length, m.req_id)
 
 
 def _dec_mem_read(buf: bytes, off: int) -> MemReadMsg:
@@ -318,33 +328,35 @@ def _dec_mem_read(buf: bytes, off: int) -> MemReadMsg:
 
 def _enc_mem_write(m: MemWriteMsg, p: int) -> bytes:
     parts = [_HDR.pack(0x0B, p),
-             _S_ADDR_LEN_REQ.pack(m.stamp, m.seq, m.addr, m.length, m.req_id)]
+             _S_ADDR_LEN_REQ.pack(m.stamp, m.seq, m.flow, m.hop, m.addr, m.length, m.req_id)]
     _pack_tail(parts, m.data)
     return b"".join(parts)
 
 
 def _dec_mem_write(buf: bytes, off: int) -> MemWriteMsg:
-    stamp, seq, addr, length, req_id = _S_ADDR_LEN_REQ.unpack_from(buf, off)
+    (stamp, seq, flow, hop, addr, length,
+     req_id) = _S_ADDR_LEN_REQ.unpack_from(buf, off)
     data, _ = _unpack_tail(buf, off + _S_ADDR_LEN_REQ.size)
-    return MemWriteMsg(stamp, seq, addr, length, req_id, data)
+    return MemWriteMsg(stamp, seq, flow, hop, addr, length, req_id, data)
 
 
 def _enc_mem_resp(m: MemRespMsg, p: int) -> bytes:
     parts = [_HDR.pack(0x0C, p),
-             _S_MEM_RESP.pack(m.stamp, m.seq, m.req_id,
+             _S_MEM_RESP.pack(m.stamp, m.seq, m.flow, m.hop, m.req_id,
                               1 if m.is_write else 0)]
     _pack_tail(parts, m.data)
     return b"".join(parts)
 
 
 def _dec_mem_resp(buf: bytes, off: int) -> MemRespMsg:
-    stamp, seq, req_id, is_write = _S_MEM_RESP.unpack_from(buf, off)
+    stamp, seq, flow, hop, req_id, is_write = _S_MEM_RESP.unpack_from(buf, off)
     data, _ = _unpack_tail(buf, off + _S_MEM_RESP.size)
-    return MemRespMsg(stamp, seq, req_id, data, bool(is_write))
+    return MemRespMsg(stamp, seq, flow, hop, req_id, data, bool(is_write))
 
 
 def _enc_mem_inv(m: MemInvalidateMsg, p: int) -> bytes:
-    return _HDR.pack(0x0D, p) + _S_MEM_INV.pack(m.stamp, m.seq, m.addr)
+    return _HDR.pack(0x0D, p) + _S_MEM_INV.pack(
+        m.stamp, m.seq, m.flow, m.hop, m.addr)
 
 
 def _dec_mem_inv(buf: bytes, off: int) -> MemInvalidateMsg:
@@ -354,30 +366,31 @@ def _dec_mem_inv(buf: bytes, off: int) -> MemInvalidateMsg:
 def _enc_trunk(m: TrunkMsg, p: int) -> bytes:
     inner = m.inner
     head = _HDR.pack(0x0E, p) + _S_TRUNK.pack(
-        m.stamp, m.seq, m.subchannel, 0 if inner is None else 1)
+        m.stamp, m.seq, m.flow, m.hop, m.subchannel,
+        0 if inner is None else 1)
     if inner is None:
         return head
     return head + encode(inner, 0)
 
 
 def _dec_trunk(buf: bytes, off: int) -> TrunkMsg:
-    stamp, seq, sub, has_inner = _S_TRUNK.unpack_from(buf, off)
+    stamp, seq, flow, hop, sub, has_inner = _S_TRUNK.unpack_from(buf, off)
     inner = None
     if has_inner:
         inner, _promise = decode(buf[off + _S_TRUNK.size:])
-    return TrunkMsg(stamp, seq, sub, inner)
+    return TrunkMsg(stamp, seq, flow, hop, sub, inner)
 
 
 def _enc_raw(m: RawMsg, p: int) -> bytes:
-    parts = [_HDR.pack(0x0F, p), _S_BASE.pack(m.stamp, m.seq)]
+    parts = [_HDR.pack(0x0F, p), _S_BASE.pack(m.stamp, m.seq, m.flow, m.hop)]
     _pack_tail(parts, m.payload)
     return b"".join(parts)
 
 
 def _dec_raw(buf: bytes, off: int) -> RawMsg:
-    stamp, seq = _S_BASE.unpack_from(buf, off)
+    stamp, seq, flow, hop = _S_BASE.unpack_from(buf, off)
     payload, _ = _unpack_tail(buf, off + _S_BASE.size)
-    return RawMsg(stamp, seq, payload)
+    return RawMsg(stamp, seq, flow, hop, payload)
 
 
 _ENCODERS: Dict[type, Callable[[Any, int], bytes]] = {

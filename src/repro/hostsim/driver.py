@@ -98,8 +98,10 @@ class DirectEthDriver(NicDriver):
     def transmit(self, pkt: Packet) -> None:
         """Send after a fixed tx-path delay (the low-fidelity NIC model)."""
         host = self.os.host
-        host.call_after(self.tx_delay_ps,
-                        lambda: self.eth.send(EthMsg(packet=pkt), host.now))
+        host.call_after(
+            self.tx_delay_ps,
+            lambda: self.eth.send(EthMsg(packet=pkt, flow=pkt.flow),
+                                  host.now))
 
     def _on_eth(self, msg: Msg) -> None:
         assert isinstance(msg, EthMsg)
@@ -141,8 +143,8 @@ class I40eDriver(NicDriver):
         os.charge(TX_DESC_INSTR)
         slot = next(self._slot_seq) % (1 << 30)
         self._tx_ring[slot] = pkt
-        self.pci.send(MmioMsg(addr=REG_TX_DOORBELL, value=slot, is_write=True),
-                      os.host.now)
+        self.pci.send(MmioMsg(addr=REG_TX_DOORBELL, value=slot, is_write=True,
+                              flow=pkt.flow), os.host.now)
 
     def request_tx_timestamp(self, pkt_uid: int,
                              cb: Callable[[int], None]) -> None:
@@ -186,7 +188,8 @@ class I40eDriver(NicDriver):
             # NIC fetching a posted descriptor + payload.
             pkt = self._tx_ring.get(msg.addr)
             self.pci.send(DmaCompletionMsg(data=pkt, req_id=msg.req_id,
-                                           length=pkt.size_bytes if pkt else 0),
+                                           length=pkt.size_bytes if pkt else 0,
+                                           flow=pkt.flow if pkt else 0),
                           now)
         elif isinstance(msg, DmaWriteMsg):
             data = msg.data

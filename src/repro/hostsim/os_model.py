@@ -20,6 +20,7 @@ from typing import Callable, Dict, List, Optional, TYPE_CHECKING
 
 from ..kernel.rng import make_rng
 from ..netsim.packet import Packet
+from ..obs.flows import _ACTIVE as _FLOWS
 from ..netsim.transport.stack import Stack
 from .clock import DriftingClock
 from .driver import NicDriver
@@ -89,6 +90,11 @@ class SimOS:
             # kernel software tx timestamp (SO_TIMESTAMPING TX_SOFTWARE):
             # the local clock when the packet actually leaves the stack
             cb(self.clock_ps())
+        rec = _FLOWS[0]
+        if rec is not None and pkt.flow:
+            # CPU-queueing exit: the tx path actually ran on the guest CPU
+            rec.hop(pkt.flow, "cpu", self.host.name, self.now,
+                    at=self.host.name)
         self.driver.transmit(pkt)
 
     def request_sw_tx_ts(self, pkt: Packet,

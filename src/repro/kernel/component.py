@@ -32,6 +32,7 @@ from .events import Event, EventQueue
 from .simtime import TIME_INFINITY
 from ..channels.channel import ChannelEnd
 from ..channels.messages import Msg
+from ..obs.flows import _ACTIVE as _FLOWS
 
 
 class WorkRecorder:
@@ -229,6 +230,13 @@ class Component:
         ev.fn(*ev.args)
 
     def _dispatch(self, end: ChannelEnd, msg: Msg) -> None:
+        rec = _FLOWS[0]
+        if rec is not None:
+            f = msg.flow
+            if f:
+                rec.seed_hop(f, msg.hop + 1)
+                rec.hop(f, "chdeliver", self.name, self.now, at=end.name,
+                        hop=msg.hop, w=end.wait_cycles)
         handler = self._handlers.get(id(end))
         if handler is None:
             self.handle_message(end, msg)

@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ...kernel.rng import ZipfGenerator, exponential_ps
 from ...kernel.simtime import SEC, US
+from ...obs.flows import _ACTIVE as _FLOWS, env_track
 from ..packet import Packet
 from .base import App
 from .kvproto import (DEFAULT_VALUE_BYTES, KV_PORT, OP_READ, OP_WRITE,
@@ -111,7 +112,9 @@ class KVServerApp(App):
             reply_bytes = self.value_bytes
         reply = KvReply(op=req.op, key=req.key, req_id=req.req_id,
                         served_by=self.host.addr, value_bytes=self.value_bytes)
-        self.sock.sendto(pkt.src, pkt.src_port, reply_bytes, payload=reply)
+        # the reply continues the request's flow (one traced round trip)
+        self.sock.sendto(pkt.src, pkt.src_port, reply_bytes, payload=reply,
+                         flow=pkt.flow)
         # final consumer of the request datagram: recycle it
         pkt.release()
 
@@ -187,6 +190,10 @@ class KVClientApp(App):
         entry = self._outstanding.pop(reply.req_id, None)
         if entry is not None:
             sent_ts, op = entry
+            rec = _FLOWS[0]
+            if rec is not None and pkt.flow:
+                track, at = env_track(self.host)
+                rec.hop(pkt.flow, "done", track, self.now, at=at)
             self.stats.record(self.now, self.now - sent_ts, op)
             if self.closed_loop_window is not None:
                 if self.stop_after is None or self.stats.sent < self.stop_after:

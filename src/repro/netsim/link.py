@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Callable, Optional, TYPE_CHECKING
 
 from ..kernel.simtime import SEC
+from ..obs.flows import _ACTIVE as _FLOWS
 from .packet import Packet
 from .queues import DropTailQueue
 
@@ -85,7 +86,15 @@ class LinkDirection:
                 tracer.instant(tid, "netsim", f"drop|{self.label}",
                                self.net.now / 1_000_000,
                                {"dropped": self.queue.stats.dropped})
+            rec = _FLOWS[0]
+            if rec is not None and pkt.flow:
+                rec.hop(pkt.flow, "drop", self.net.name, self.net.now,
+                        at=self.label)
             return  # dropped (counted by the queue)
+        rec = _FLOWS[0]
+        if rec is not None and pkt.flow:
+            rec.hop(pkt.flow, "enq", self.net.name, self.net.now,
+                    at=self.label)
         if not self.busy:
             obs = self.obs
             if obs is not None:
@@ -115,6 +124,9 @@ class LinkDirection:
             return
         self.busy = True
         net = self.net
+        rec = _FLOWS[0]
+        if rec is not None and pkt.flow:
+            rec.hop(pkt.flow, "deq", net.name, net.now, at=self.label)
         if self.on_tx_start is not None:
             self.on_tx_start(pkt, net.now)
         serialization = -(-pkt.size_bits * SEC // self._bw_int)
@@ -137,6 +149,10 @@ class LinkDirection:
                             "depth_bytes": queue.bytes_queued,
                             "dropped": queue.stats.dropped,
                             "ecn_marked": queue.stats.ecn_marked})
+        rec = _FLOWS[0]
+        if rec is not None and pkt.flow:
+            rec.hop(pkt.flow, "txdone", self.net.name, self.net.now,
+                    at=self.label)
         if self.latency_ps > 0:
             net = self.net
             net._schedule_at(net, net.now + self.latency_ps, self.deliver, pkt)

@@ -139,13 +139,15 @@ class NetworkSim(Component):
     def bind_external_to_end(self, label: str, end) -> None:
         """Bind an external attachment to a SplitSim Ethernet channel end."""
         att = self.externals[label]
-        att.bind_send(lambda pkt: end.send(EthMsg(packet=pkt), self.now))
+        att.bind_send(lambda pkt: end.send(
+            EthMsg(packet=pkt, flow=pkt.flow), self.now))
         self.attach_end(end, lambda msg: att.inject(msg.packet))
 
     def bind_external_to_trunk_port(self, label: str, trunk_port) -> None:
         """Bind an external attachment to one sub-link of a trunk channel."""
         att = self.externals[label]
-        att.bind_send(lambda pkt: trunk_port.send(EthMsg(packet=pkt), self.now))
+        att.bind_send(lambda pkt: trunk_port.send(
+            EthMsg(packet=pkt, flow=pkt.flow), self.now))
         trunk_port.on_receive(lambda msg: att.inject(msg.packet))
 
     # -- lifecycle -------------------------------------------------------------

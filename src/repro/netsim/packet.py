@@ -54,7 +54,7 @@ class Packet:
         "src", "dst", "size_bytes", "size_bits", "proto", "src_port",
         "dst_port", "seq", "ack", "flags", "wnd", "data_len", "ect", "ce",
         "ece", "residence_ps", "arrival_ts", "payload", "create_ts", "hops",
-        "uid", "_pooled",
+        "uid", "flow", "_pooled",
     )
 
     def __init__(self, src: int, dst: int, size_bytes: int,
@@ -63,7 +63,8 @@ class Packet:
                  data_len: int = 0, ect: bool = False, ce: bool = False,
                  ece: bool = False, residence_ps: int = 0,
                  arrival_ts: int = 0, payload: Any = None, create_ts: int = 0,
-                 hops: int = 0, uid: Optional[int] = None) -> None:
+                 hops: int = 0, uid: Optional[int] = None,
+                 flow: int = 0) -> None:
         if size_bytes < MIN_FRAME_BYTES:
             size_bytes = MIN_FRAME_BYTES
         self.src = src
@@ -98,6 +99,8 @@ class Packet:
         self.create_ts = create_ts
         self.hops = hops
         self.uid = next(_packet_ids) if uid is None else uid
+        #: causal flow id (``repro.obs.flows``); 0 = untraced
+        self.flow = flow
         self._pooled = False
 
     # -- pooling -----------------------------------------------------------
@@ -140,6 +143,7 @@ class Packet:
             p.create_ts = create_ts
             p.hops = 0
             p.uid = next(_packet_ids)
+            p.flow = 0
             p._pooled = False
             return p
         return cls(src, dst, size_bytes, proto, src_port, dst_port,
@@ -166,12 +170,18 @@ class Packet:
         return (self.src, self.dst, self.src_port, self.dst_port, self.proto)
 
     def clone_for_reply(self, size_bytes: int, payload: Any = None) -> "Packet":
-        """Build a reply packet with src/dst and ports swapped."""
-        return Packet.alloc(
+        """Build a reply packet with src/dst and ports swapped.
+
+        The reply inherits the request's flow id so a traced
+        request/response pair forms one end-to-end flow.
+        """
+        p = Packet.alloc(
             src=self.dst, dst=self.src, size_bytes=size_bytes,
             proto=self.proto, src_port=self.dst_port, dst_port=self.src_port,
             ect=self.ect, payload=payload,
         )
+        p.flow = self.flow
+        return p
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<Packet uid={self.uid} {self.proto} {self.src}:{self.src_port}"

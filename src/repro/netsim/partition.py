@@ -203,7 +203,8 @@ def _bind_cut_link_plain(spec, parts, assignment, port_map, ls: LinkSpec,
 def _bind_attachment_to_port(net: NetworkSim, att: ExternalAttachment,
                              tport, extra_latency_ps: int) -> None:
     from ..channels.messages import EthMsg
-    att.bind_send(lambda pkt: tport.send(EthMsg(packet=pkt), net.now))
+    att.bind_send(lambda pkt: tport.send(
+        EthMsg(packet=pkt, flow=pkt.flow), net.now))
     if extra_latency_ps > 0:
         tport.on_receive(
             lambda msg: net.call_after(extra_latency_ps, att.inject, msg.packet))

@@ -21,6 +21,7 @@ from __future__ import annotations
 from itertools import count
 from typing import Callable, Dict, Optional, Tuple
 
+from ...obs.flows import _ACTIVE as _FLOWS, env_track
 from ..packet import HEADER_BYTES, Packet
 from . import costs
 from .tcp import TcpConnection
@@ -40,8 +41,17 @@ class UdpSocket:
         self.rx_dgrams = 0
 
     def sendto(self, dst: int, dst_port: int, nbytes: int,
-               payload=None, ect: bool = False) -> Packet:
-        """Send one datagram of ``nbytes`` application payload."""
+               payload=None, ect: bool = False,
+               flow: Optional[int] = None) -> Packet:
+        """Send one datagram of ``nbytes`` application payload.
+
+        ``flow`` is the causal-tracing hook: ``None`` (the default) marks a
+        flow *origin* — when tracing is active a fresh id is allocated (and
+        kept 1-in-N per the sampling divisor).  A nonzero value continues
+        an existing traced flow (e.g. a server replying to a traced
+        request); ``0`` continues an *untraced* one, so replies inherit the
+        request's sampling decision instead of originating a new flow.
+        """
         stack = self.stack
         env = stack.env
         env.charge(costs.UDP_TX_INSTR
@@ -51,6 +61,24 @@ class UdpSocket:
             "udp", self.port, dst_port,
             payload=payload, ect=ect, create_ts=env.now,
         )
+        rec = _FLOWS[0]
+        if rec is not None and flow != 0:
+            if flow:
+                pkt.flow = flow
+                kind = "send"
+            else:
+                # Sampling decides at the origin: an unsampled flow is
+                # never tagged, so every downstream site stays on its
+                # flow==0 fast branch.
+                flow = rec.new_flow(stack.addr)
+                kind = "origin"
+                if rec.sampled(flow):
+                    pkt.flow = flow
+                else:
+                    flow = 0
+            if flow:
+                track, at = env_track(env)
+                rec.hop(flow, kind, track, env.now, at=at)
         self.tx_dgrams += 1
         env.tx(pkt)
         return pkt
@@ -130,6 +158,11 @@ class Stack:
     def handle_packet(self, pkt: Packet) -> None:
         """Entry point for packets arriving from the network interface."""
         self.rx_packets += 1
+        rec = _FLOWS[0]
+        if rec is not None and pkt.flow:
+            env = self.env
+            track, at = env_track(env)
+            rec.hop(pkt.flow, "deliver", track, env.now, at=at)
         if pkt.proto == "tcp":
             self._handle_tcp(pkt)
             return

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Optional, TYPE_CHECKING
 
 from ...kernel.simtime import MS, US
+from ...obs.flows import _ACTIVE as _FLOWS, env_track
 from ..packet import HEADER_BYTES, Packet
 from . import costs
 
@@ -109,6 +110,15 @@ class TcpConnection:
             ect=self.ect and length > 0,
             create_ts=self.env.now,
         )
+        rec = _FLOWS[0]
+        if rec is not None:
+            # Segment birth: every TCP segment is its own traced flow.
+            # Unsampled segments stay untagged (flow==0 downstream).
+            f = rec.new_flow(self.stack.addr)
+            if rec.sampled(f):
+                pkt.flow = f
+                track, at = env_track(self.env)
+                rec.hop(f, "origin", track, self.env.now, at=at)
         self.env.tx(pkt)
 
     # ------------------------------------------------------------- lifecycle

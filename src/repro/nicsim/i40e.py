@@ -66,6 +66,8 @@ class I40eNic(Component):
 
         self._dma_req_ids = count()
         self._dma_pending: dict[int, int] = {}  # dma req id -> tx slot
+        #: flow id riding each in-flight descriptor fetch (provenance only)
+        self._dma_flow: dict[int, int] = {}
         self._tx_busy_until = 0
         self.tx_packets = 0
         self.rx_packets = 0
@@ -77,6 +79,8 @@ class I40eNic(Component):
             if msg.addr == REG_TX_DOORBELL and msg.is_write:
                 req_id = next(self._dma_req_ids)
                 self._dma_pending[req_id] = msg.value
+                if msg.flow:
+                    self._dma_flow[req_id] = msg.flow
                 self.call_after(TX_PROC_PS, self._fetch_descriptor, req_id)
             elif msg.addr == REG_PHC_TIME and not msg.is_write:
                 self.pci.send(MmioRespMsg(value=self.phc.read(self.now),
@@ -87,6 +91,7 @@ class I40eNic(Component):
                 self.phc.adj_freq_ppm(self.now, msg.value / 1000.0)
         elif isinstance(msg, DmaCompletionMsg):
             slot = self._dma_pending.pop(msg.req_id, None)
+            self._dma_flow.pop(msg.req_id, None)
             if slot is None or msg.data is None:
                 return
             self._transmit(slot, msg.data)
@@ -94,7 +99,9 @@ class I40eNic(Component):
     def _fetch_descriptor(self, req_id: int) -> None:
         slot = self._dma_pending.get(req_id)
         if slot is not None:
-            self.pci.send(DmaReadMsg(addr=slot, req_id=req_id), self.now)
+            self.pci.send(DmaReadMsg(addr=slot, req_id=req_id,
+                                     flow=self._dma_flow.get(req_id, 0)),
+                          self.now)
 
     def _transmit(self, slot: int, pkt: Packet) -> None:
         start = max(self.now, self._tx_busy_until)
@@ -105,9 +112,10 @@ class I40eNic(Component):
     def _wire_out(self, slot: int, pkt: Packet) -> None:
         self.tx_packets += 1
         hw_ts = self.phc.read(self.now) if is_ptp_event(pkt) else None
-        self.eth.send(EthMsg(packet=pkt), self.now)
+        self.eth.send(EthMsg(packet=pkt, flow=pkt.flow), self.now)
         self.pci.send(
-            DmaWriteMsg(data=TxDone(slot, pkt.uid, hw_ts), length=16),
+            DmaWriteMsg(data=TxDone(slot, pkt.uid, hw_ts), length=16,
+                        flow=pkt.flow),
             self.now)
 
     # -- receive path: wire -> buffer -> DMA write + interrupt ------------------
@@ -121,5 +129,6 @@ class I40eNic(Component):
 
     def _rx_dma(self, pkt: Packet, hw_ts: Optional[int]) -> None:
         self.pci.send(DmaWriteMsg(data=RxEntry(pkt, hw_ts),
-                                  length=pkt.size_bytes), self.now)
-        self.pci.send(InterruptMsg(vector=0), self.now)
+                                  length=pkt.size_bytes, flow=pkt.flow),
+                      self.now)
+        self.pci.send(InterruptMsg(vector=0, flow=pkt.flow), self.now)

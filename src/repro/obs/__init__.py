@@ -16,6 +16,10 @@ measures against.  It has four pieces:
   orchestration.
 * :mod:`repro.obs.telemetry` — live multiprocess heartbeats and the
   versioned ``run_report.json``.
+* :mod:`repro.obs.flows` — end-to-end causal flow tracing: per-message
+  provenance (flow/hop ids carried in the wire header), per-hop latency
+  records, and the post-processor that reconstructs flow trees, latency
+  attribution, and the critical-path bottleneck.
 
 The ``splitsim-inspect`` CLI (:mod:`repro.obs.inspect_cli`) consumes the
 exported traces: top spans, stall timeline, per-edge wait histograms, and a
@@ -28,6 +32,10 @@ from .telemetry import (Heartbeat, RUN_REPORT_SCHEMA, TelemetryAggregator,
                         build_run_report, write_run_report)
 from .trace import (ORCH_PID, PhaseClock, TRACE_SCHEMA, Tracer, chrome_doc,
                     load_trace, us_from_ps, validate_chrome_doc)
+from .flows import (FLOW_SAMPLE_ENV, Flow, FlowHop, FlowRecorder, FlowReport,
+                    analyze_doc, extract_flows, flow_origin, flow_serial,
+                    install_flow_recorder, sample_from_env,
+                    uninstall_flow_recorder)
 from .install import (install_component_tracer, install_network_tracer,
                       install_tracer, wire_tracer)
 
@@ -40,4 +48,7 @@ __all__ = [
     "install_network_tracer",
     "Heartbeat", "TelemetryAggregator", "build_run_report",
     "write_run_report", "RUN_REPORT_SCHEMA",
+    "FlowRecorder", "FlowReport", "Flow", "FlowHop", "FLOW_SAMPLE_ENV",
+    "install_flow_recorder", "uninstall_flow_recorder", "analyze_doc",
+    "extract_flows", "flow_origin", "flow_serial", "sample_from_env",
 ]

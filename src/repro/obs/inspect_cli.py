@@ -6,6 +6,12 @@ multiprocess runner's ``trace_dir``)::
 
     splitsim-inspect trace.json
     splitsim-inspect trace.json --dot wtpg.dot --json summary.json
+    splitsim-inspect flows trace.json --top 5
+
+The ``flows`` subcommand post-processes causal flow-hop records
+(``splitsim-run --flows N`` / ``SPLITSIM_FLOW_SAMPLE``) into per-flow
+latency waterfalls, an aggregate attribution histogram, and the
+flow-derived bottleneck (see :mod:`repro.obs.flows`).
 
 It reports:
 
@@ -26,9 +32,12 @@ import json
 import sys
 from typing import Dict, List, Optional, Tuple
 
+import os
+
 from ..profiler.postprocess import (AdapterMetrics, ComponentMetrics,
                                     ProfileAnalysis)
 from ..profiler.wtpg import build_wtpg, save_dot, to_text
+from .flows import FlowReport, analyze_doc
 from .metrics import Histogram
 from .trace import load_trace, validate_chrome_doc
 
@@ -187,14 +196,144 @@ def edge_wait_histograms(doc: dict) -> Dict[str, Histogram]:
     return out
 
 
+# -- flow rendering -----------------------------------------------------------
+
+def _fmt_ps(ps: int) -> str:
+    """Human-readable picosecond duration."""
+    if ps >= 1_000_000_000:
+        return f"{ps / 1e9:.3f}ms"
+    if ps >= 1_000_000:
+        return f"{ps / 1e6:.3f}us"
+    if ps >= 1_000:
+        return f"{ps / 1e3:.1f}ns"
+    return f"{ps}ps"
+
+
+def render_flow_report(rep: FlowReport, top: int = 5) -> str:
+    """Text rendering: summary, attribution histogram, waterfalls."""
+    lines: List[str] = []
+    complete = rep.complete
+    lines.append(f"flows: {len(rep.flows)} traced, {len(complete)} complete "
+                 "(origin..done)")
+    totals = rep.breakdown_totals()
+    grand = sum(totals.values()) or 1
+    lines.append("\nlatency attribution (complete flows):")
+    for cat, ps in sorted(totals.items(), key=lambda kv: -kv[1]):
+        frac = ps / grand
+        bar = "#" * max(1, int(frac * 40)) if ps else ""
+        lines.append(f"  {cat:<14} {_fmt_ps(ps):>12}  {frac:>6.1%} |{bar}")
+    sync = rep.sync_wait_cycles()
+    if sync:
+        lines.append(f"  sync-wait      {sync:,.0f} cycles "
+                     "(co-attributed, wall domain)")
+    comp_time = rep.component_time()
+    if comp_time:
+        lines.append("\nper-component time on traced flows:")
+        for comp, ps in sorted(comp_time.items(), key=lambda kv: -kv[1]):
+            lines.append(f"  {comp:<24} {_fmt_ps(ps):>12}")
+        lines.append(f"  bottleneck: {rep.bottleneck()}")
+    slowest = rep.slowest(top)
+    if slowest:
+        lines.append(f"\nslowest {len(slowest)} complete flows:")
+    for fl in slowest:
+        first = fl.first
+        lines.append(f"\n  flow {fl.flow:#x} origin={first.track} "
+                     f"end-to-end={_fmt_ps(fl.end_to_end_ps)} "
+                     f"({len(fl.hops)} hops)")
+        t0 = first.ps
+        for hop in fl.hops:
+            dur = f" (+{_fmt_ps(hop.dur_ps)} {hop.category})" \
+                if hop.dur_ps else ""
+            at = f" @{hop.at}" if hop.at and hop.at != hop.track else ""
+            lines.append(f"    {_fmt_ps(hop.ps - t0):>12} {hop.kind:<10} "
+                         f"{hop.track}{at}{dur}")
+    return "\n".join(lines)
+
+
+def _flows_main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="splitsim-inspect flows",
+        description="Per-flow latency waterfalls, attribution histogram, "
+                    "and flow-derived bottleneck from causal hop records.")
+    parser.add_argument("trace", help="Chrome-trace JSON file or run dir")
+    parser.add_argument("--top", type=int, default=5,
+                        help="slowest flows to show (default 5)")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the machine-readable flow report")
+    args = parser.parse_args(argv)
+    doc = _load_doc(args.trace)
+    if doc is None:
+        return 1
+    rep = analyze_doc(doc)
+    if not rep.flows:
+        print(f"error: {args.trace} has no flow-hop records — run with "
+              "flow tracing on (splitsim-run --flows N, "
+              "Instantiation(flow_sample=N), or SPLITSIM_FLOW_SAMPLE=N)",
+              file=sys.stderr)
+        return 1
+    print(render_flow_report(rep, top=args.top))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(rep.to_dict(top=args.top), fh, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
 # -- CLI ----------------------------------------------------------------------
+
+def _resolve_trace_path(path: str) -> Optional[str]:
+    """Map a run directory to its merged trace; None + message if hopeless."""
+    if os.path.isdir(path):
+        merged = os.path.join(path, "trace.json")
+        if os.path.isfile(merged):
+            return merged
+        report = os.path.join(path, "run_report.json")
+        if os.path.isfile(report):
+            print(f"error: {path} has run_report.json but no trace.json — "
+                  "rerun with tracing on (splitsim-run --trace, or "
+                  "run_mp(trace_dir=...)) to collect one", file=sys.stderr)
+        else:
+            print(f"error: {path} is a directory without trace.json or "
+                  "run_report.json — pass a Chrome-trace JSON file or a "
+                  "SplitSim run directory", file=sys.stderr)
+        return None
+    if not os.path.exists(path):
+        print(f"error: {path} does not exist (expected a Chrome-trace JSON "
+              "file or a run directory)", file=sys.stderr)
+        return None
+    return path
+
+
+def _load_doc(path: str) -> Optional[dict]:
+    """Resolve, read, and validate a trace; print the failure and None."""
+    resolved = _resolve_trace_path(path)
+    if resolved is None:
+        return None
+    try:
+        doc = load_trace(resolved)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error reading {resolved}: {exc}", file=sys.stderr)
+        return None
+    if not doc.get("traceEvents"):
+        print(f"error: {resolved} contains no trace events (empty or "
+              "truncated capture)", file=sys.stderr)
+        return None
+    problems = validate_chrome_doc(doc)
+    if problems:
+        more = f" (+{len(problems) - 1} more)" if len(problems) > 1 else ""
+        print(f"error: {resolved} is not a valid trace: {problems[0]}{more}",
+              file=sys.stderr)
+        return None
+    return doc
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="splitsim-inspect",
         description="Summarize a SplitSim trace: top spans, stall timeline, "
-                    "per-edge wait histograms, and the trace-derived WTPG.")
-    parser.add_argument("trace", help="Chrome-trace JSON or JSONL file")
+                    "per-edge wait histograms, and the trace-derived WTPG. "
+                    "Use the 'flows' subcommand for causal flow analysis.")
+    parser.add_argument("trace", help="Chrome-trace JSON file or run dir")
     parser.add_argument("--top", type=int, default=10,
                         help="span groups to list (default 10)")
     parser.add_argument("--buckets", type=int, default=48,
@@ -214,18 +353,13 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 
 def _main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "flows":
+        return _flows_main(argv[1:])
     args = build_parser().parse_args(argv)
-    try:
-        doc = load_trace(args.trace)
-    except (OSError, json.JSONDecodeError) as exc:
-        print(f"error reading {args.trace}: {exc}", file=sys.stderr)
-        return 1
-    problems = validate_chrome_doc(doc)
-    if problems:
-        print(f"error: {args.trace} is not a valid trace: "
-              f"{problems[0]} (+{len(problems) - 1} more)" if len(problems) > 1
-              else f"error: {args.trace} is not a valid trace: {problems[0]}",
-              file=sys.stderr)
+    doc = _load_doc(args.trace)
+    if doc is None:
         return 1
     events = doc.get("traceEvents", [])
     meta = doc.get("otherData", {})

@@ -136,6 +136,21 @@ class Tracer:
         self._buf[i & self._mask] = ("C", tid, cat, name, ts_us, 0.0, values)
         self._idx = i + 1
 
+    def flow_event(self, ph: str, tid: int, ts_us: float,
+                   flow_id: int) -> None:
+        """Record a Chrome flow event (``ph`` in ``s``/``t``/``f``).
+
+        Flow events bind to the enclosing slice on the same pid/tid at
+        ``ts_us`` and render as arrows between bound slices across tracks
+        and pid lanes.  The flow id rides in the tuple's dur slot (exported
+        as ``id``); start/step/finish events of one flow share name+cat+id,
+        which is Perfetto's binding rule.
+        """
+        i = self._idx
+        self._buf[i & self._mask] = (ph, tid, "flow", "flow", ts_us,
+                                     flow_id, None)
+        self._idx = i + 1
+
     # -- introspection -----------------------------------------------------
 
     def __len__(self) -> int:
@@ -167,6 +182,10 @@ class Tracer:
                 ev["dur"] = dur
             elif ph == "i":
                 ev["s"] = "t"
+            elif ph in ("s", "t", "f"):
+                ev["id"] = int(dur)
+                if ph == "f":
+                    ev["bp"] = "e"  # bind finish to the enclosing slice
             if args is not None:
                 ev["args"] = args
             out.append(ev)
@@ -250,13 +269,18 @@ def validate_chrome_doc(doc: dict) -> List[str]:
 
     Checks the keys the acceptance criteria (and Perfetto) rely on:
     ``traceEvents`` is a list, every event has ``ph``/``pid``/``ts`` (or is
-    metadata), and phases are within the emitted alphabet.
+    metadata), phases are within the emitted alphabet, and flow events
+    (``ph`` in ``s``/``t``/``f``) carry an ``id`` and a ``cat``, use a
+    consistent ``bind_id`` when present, and every step/finish id has a
+    matching flow start.
     """
     problems: List[str] = []
     events = doc.get("traceEvents")
     if not isinstance(events, list):
         return ["traceEvents missing or not a list"]
-    allowed = {"B", "E", "X", "i", "C", "M"}
+    allowed = {"B", "E", "X", "i", "C", "M", "s", "t", "f"}
+    flow_starts = set()
+    flow_continuations: List[tuple] = []
     for n, ev in enumerate(events):
         ph = ev.get("ph")
         if ph not in allowed:
@@ -268,6 +292,22 @@ def validate_chrome_doc(doc: dict) -> List[str]:
             problems.append(f"event {n}: missing ts")
         if ph == "X" and "dur" not in ev:
             problems.append(f"event {n}: X span missing dur")
+        if ph in ("s", "t", "f"):
+            if "id" not in ev:
+                problems.append(f"event {n}: flow event missing id")
+                continue
+            if not ev.get("cat"):
+                problems.append(f"event {n}: flow event missing cat")
+            if "bind_id" in ev and ev["bind_id"] != ev["id"]:
+                problems.append(f"event {n}: bind_id {ev['bind_id']!r} "
+                                f"does not match id {ev['id']!r}")
+            if ph == "s":
+                flow_starts.add(ev["id"])
+            else:
+                flow_continuations.append((n, ev["id"]))
+    for n, fid in flow_continuations:
+        if fid not in flow_starts:
+            problems.append(f"event {n}: flow {fid!r} has no start (ph=s)")
     return problems
 
 

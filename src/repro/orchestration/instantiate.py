@@ -74,6 +74,9 @@ class Experiment:
         self.phase_tracer = None
         #: :class:`~repro.obs.trace.PhaseClock` over ``phase_tracer``
         self.phases = None
+        #: :class:`~repro.obs.flows.FlowRecorder` (set by
+        #: :meth:`enable_flow_tracing`)
+        self.flow_recorder = None
 
     # -- conveniences ------------------------------------------------------------
 
@@ -133,6 +136,27 @@ class Experiment:
             self.phases = PhaseClock(self.phase_tracer)
         return self.tracer
 
+    def enable_flow_tracing(self, sample_n: int = 1):
+        """Record causal per-message flow hops into this experiment's trace.
+
+        Installs a :class:`~repro.obs.flows.FlowRecorder` over the sim
+        tracer (enabling tracing first if needed).  ``sample_n`` keeps one
+        flow in ``n``; 1 traces everything.  Pair with
+        :meth:`disable_flow_tracing` (the recorder is process-global) —
+        typically in a ``try/finally`` around :meth:`run`.
+        """
+        from ..obs.flows import install_flow_recorder
+        self.enable_tracing()
+        self.flow_recorder = install_flow_recorder(self.tracer,
+                                                   sample_n=sample_n)
+        return self.flow_recorder
+
+    def disable_flow_tracing(self) -> None:
+        """Detach the process-global flow recorder installed above."""
+        from ..obs.flows import uninstall_flow_recorder
+        uninstall_flow_recorder()
+        self.flow_recorder = None
+
     def save_trace(self, path: str, extra_meta: Optional[dict] = None) -> dict:
         """Write the merged Chrome-trace document; returns the document."""
         if self.tracer is None:
@@ -179,7 +203,9 @@ class Experiment:
     def run_mp(self, duration_ps: int, timeout_s: float = 300.0, *,
                progress: bool = False, report_path: Optional[str] = None,
                trace_dir: Optional[str] = None,
-               hb_interval_s: float = 0.25):
+               hb_interval_s: float = 0.25,
+               flow_sample: Optional[int] = None,
+               digest: bool = False):
         """Run this experiment with one OS process per component simulator.
 
         This is the paper's actual deployment (shared-memory channels,
@@ -198,7 +224,8 @@ class Experiment:
         runner = ProcessRunner(specs, channels)
         return runner.run(duration_ps, timeout_s=timeout_s,
                           progress=progress, report_path=report_path,
-                          trace_dir=trace_dir, hb_interval_s=hb_interval_s)
+                          trace_dir=trace_dir, hb_interval_s=hb_interval_s,
+                          flow_sample=flow_sample, digest=digest)
 
     def execution_model(self, sim_time_ps: int) -> ParallelExecutionModel:
         """Virtual-time model over this experiment's recorded workload."""
@@ -236,11 +263,16 @@ class Instantiation:
     trace: bool = False
     trace_capacity: int = 1 << 16
     trace_interval_rounds: int = 64
+    #: Causal flow tracing: keep 1-in-N flows (1 = every flow, ``None`` =
+    #: off).  Implies ``trace``.  See ``repro.obs.flows``.
+    flow_sample: Optional[int] = None
 
     def build(self) -> Experiment:
         """Assemble all component simulators and channels per the choices."""
         phase_tracer = None
         build_start_us = 0.0
+        if self.flow_sample is not None:
+            self.trace = True
         if self.trace:
             from ..obs.trace import ORCH_PID, Tracer
             phase_tracer = Tracer(pid=ORCH_PID,
@@ -334,6 +366,8 @@ class Instantiation:
             exp.phases = PhaseClock(phase_tracer)
             exp.enable_tracing(self.trace_capacity,
                                self.trace_interval_rounds)
+            if self.flow_sample is not None:
+                exp.enable_flow_tracing(self.flow_sample)
             phase_tracer.span(phase_tracer.tid("phases"), "phase", "build",
                               build_start_us,
                               phase_tracer.wall_us() - build_start_us,

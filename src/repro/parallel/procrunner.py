@@ -206,7 +206,8 @@ def _child_main(spec: ProcSpec,
                 until_ps: int, result_q, timeout_s: float,
                 telemetry_q=None, trace_dir: Optional[str] = None,
                 hb_interval_s: float = 0.25, index: int = 0,
-                digest: bool = False) -> None:
+                digest: bool = False,
+                flow_sample: Optional[int] = None) -> None:
     result = ProcResult(name=spec.name)
     rings: List[ShmRing] = []
     tracer = None
@@ -215,6 +216,13 @@ def _child_main(spec: ProcSpec,
             from ..obs.trace import Tracer
             tracer = Tracer(pid=index + 1, process_name=spec.name,
                             clock="wall")
+            # Causal flow tracing: hop records land in this child's ring
+            # (args carry exact sim-ps), stitched across processes by the
+            # merged-trace analysis.  Explicit arg wins over the env knob.
+            from ..obs.flows import install_flow_recorder, sample_from_env
+            n = flow_sample if flow_sample is not None else sample_from_env(0)
+            if n:
+                install_flow_recorder(tracer, sample_n=n)
         comp = spec.make()
         in_rings: List[ShmRing] = []
         for end_name, out_name, in_name, peer, peer_comp in wiring:
@@ -342,7 +350,8 @@ class ProcessRunner:
             progress: bool = False, report_path: Optional[str] = None,
             trace_dir: Optional[str] = None,
             hb_interval_s: float = 0.25,
-            digest: bool = False) -> Dict[str, ProcResult]:
+            digest: bool = False,
+            flow_sample: Optional[int] = None) -> Dict[str, ProcResult]:
         """Run all components to ``until_ps``; returns per-component results.
 
         Parameters
@@ -361,6 +370,9 @@ class ProcessRunner:
         digest:
             Record each child's event timeline and return its SHA-256 in
             ``ProcResult.timeline_digest`` (determinism checks).
+        flow_sample:
+            Keep 1-in-N causal flows in the per-child traces (needs
+            ``trace_dir``); ``None`` defers to ``SPLITSIM_FLOW_SAMPLE``.
         """
         ctx = mp.get_context("fork")
         rings: List[ShmRing] = []
@@ -402,7 +414,7 @@ class ProcessRunner:
                     target=_child_main,
                     args=(spec, wiring[spec.name], until_ps, result_q,
                           timeout_s, telemetry_q, trace_dir, hb_interval_s,
-                          index, digest),
+                          index, digest, flow_sample),
                     name=f"splitsim-{spec.name}",
                 )
                 for index, spec in enumerate(self.specs)

@@ -64,6 +64,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="export a Chrome-trace/Perfetto JSON of the run "
                              "(open in ui.perfetto.dev; feed to "
                              "splitsim-inspect)")
+    parser.add_argument("--flows", metavar="N", type=int, default=None,
+                        help="causal flow tracing: keep 1-in-N flows "
+                             "(1 = all); implies --trace; inspect with "
+                             "'splitsim-inspect flows'")
     parser.add_argument("--stats-json", metavar="PATH", default=None,
                         help="write the unified metrics snapshot "
                              "(subsystem.component.metric) as JSON")
@@ -115,11 +119,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         inst_kwargs["profile"] = True
     if args.trace or args.profile_out:
         inst_kwargs.setdefault("trace", True)
+    if args.flows is not None:
+        if args.flows < 1:
+            print("error: --flows needs a sampling divisor >= 1",
+                  file=sys.stderr)
+            return 1
+        inst_kwargs["flow_sample"] = args.flows
+        if not (args.trace or args.profile_out):
+            args.trace = "trace.json"  # flow records only live in the trace
 
     duration_text = args.duration or getattr(module, "DURATION", "10ms")
     duration = parse_time(duration_text)
 
     exp = Instantiation(system, **inst_kwargs).build()
+    try:
+        return _run(args, exp, duration, duration_text)
+    finally:
+        if exp.flow_recorder is not None:
+            exp.disable_flow_tracing()
+
+
+def _run(args, exp, duration: int, duration_text: str) -> int:
     components = [c.name for c in exp.sim.components]
     print(f"running {len(components)} component simulators for "
           f"{duration_text}: {', '.join(components)}")

@@ -18,25 +18,34 @@ GOLDEN_DIGEST = "141c2979831836787e308a6a0b00dcb51ecee797f2c31a3e79de4fffe58e413
 DURATION = 2 * MS
 
 
-def timeline_digest(mode: str, traced: bool = False) -> str:
+def timeline_digest(mode: str, traced: bool = False,
+                    flow_sample: int = 0) -> str:
     exp = Instantiation(build_mixed_system(), mode=mode).build()
     sim = exp.sim
     if traced:
         from repro.obs import Tracer, install_tracer
         install_tracer(sim, Tracer())
+    if flow_sample:
+        from repro.obs import Tracer, install_flow_recorder
+        install_flow_recorder(Tracer(), sample_n=flow_sample)
     lines = {}
 
     def trace(owner, ts):
         lines.setdefault(owner.name if owner is not None else "?", []).append(ts)
 
     sim._wire()
-    if mode == "fast":
-        sim._shared_queue.trace = trace
-        sim._run_fast(DURATION)
-    else:
-        for c in sim.components:
-            c.queue.trace = trace
-        sim._run_strict(DURATION)
+    try:
+        if mode == "fast":
+            sim._shared_queue.trace = trace
+            sim._run_fast(DURATION)
+        else:
+            for c in sim.components:
+                c.queue.trace = trace
+            sim._run_strict(DURATION)
+    finally:
+        if flow_sample:
+            from repro.obs import uninstall_flow_recorder
+            uninstall_flow_recorder()
     digest = hashlib.sha256()
     for name in sorted(lines):
         digest.update(
@@ -60,3 +69,19 @@ def test_fast_mode_timeline_unchanged_with_tracing():
 
 def test_strict_mode_timeline_unchanged_with_tracing():
     assert timeline_digest("strict", traced=True) == GOLDEN_DIGEST
+
+
+def test_fast_mode_timeline_unchanged_with_flow_tracing():
+    # causal flow tagging rides existing messages; tracing every flow
+    # must not move a single event
+    assert timeline_digest("fast", flow_sample=1) == GOLDEN_DIGEST
+
+
+def test_strict_mode_timeline_unchanged_with_flow_tracing():
+    assert timeline_digest("strict", flow_sample=1) == GOLDEN_DIGEST
+
+
+def test_timeline_unchanged_with_sampled_flow_tracing():
+    # the sampling decision (keep 1-in-N at the origin) is metadata only
+    assert timeline_digest("fast", flow_sample=7) == GOLDEN_DIGEST
+    assert timeline_digest("strict", flow_sample=7) == GOLDEN_DIGEST

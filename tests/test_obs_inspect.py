@@ -131,3 +131,92 @@ def test_cli_rejects_invalid_trace(tmp_path, capsys):
     assert "not a valid trace" in capsys.readouterr().err
     missing = tmp_path / "missing.json"
     assert main([str(missing)]) == 1
+
+
+# -- graceful failure (no tracebacks) -----------------------------------------
+
+def test_cli_reports_missing_path_clearly(tmp_path, capsys):
+    assert main([str(tmp_path / "nope.json")]) == 1
+    err = capsys.readouterr().err
+    assert "does not exist" in err
+
+
+def test_cli_reports_empty_run_directory(tmp_path, capsys):
+    empty = tmp_path / "rundir"
+    empty.mkdir()
+    assert main([str(empty)]) == 1
+    err = capsys.readouterr().err
+    assert "without trace.json" in err
+
+
+def test_cli_reports_report_without_trace(tmp_path, capsys):
+    rundir = tmp_path / "rundir"
+    rundir.mkdir()
+    (rundir / "run_report.json").write_text("{}")
+    assert main([str(rundir)]) == 1
+    err = capsys.readouterr().err
+    assert "no trace.json" in err and "rerun with tracing" in err
+
+
+def test_cli_reports_empty_trace_file(tmp_path, capsys):
+    path = tmp_path / "trace.json"
+    path.write_text('{"traceEvents": []}')
+    assert main([str(path)]) == 1
+    assert "no trace events" in capsys.readouterr().err
+
+
+def test_cli_resolves_run_directory_to_merged_trace(tmp_path, capsys):
+    _, _, path = traced_strict_run(tmp_path)
+    # tmp_path now holds trace.json: pass the *directory*
+    assert main([str(tmp_path)]) == 0
+    assert "top spans" in capsys.readouterr().out
+
+
+# -- flows subcommand ---------------------------------------------------------
+
+def flow_traced_run(tmp_path):
+    from repro.obs.flows import uninstall_flow_recorder
+    system = System(seed=3)
+    system.switch("tor")
+    system.host("server", simulator="qemu")
+    system.host("client")
+    system.link("server", "tor", 10 * GBPS, 1 * US)
+    system.link("client", "tor", 10 * GBPS, 1 * US)
+    system.app("server", lambda h: KVServerApp())
+    addr = system.addr_of("server")
+    system.app("client", lambda h: KVClientApp([addr], closed_loop_window=4))
+    exp = Instantiation(system, mode="strict", flow_sample=1).build()
+    try:
+        exp.run(2 * MS)
+        path = tmp_path / "trace.json"
+        exp.save_trace(str(path))
+    finally:
+        uninstall_flow_recorder()
+    return path
+
+
+def test_flows_subcommand_reports_waterfall_and_attribution(tmp_path, capsys):
+    path = flow_traced_run(tmp_path)
+    report = tmp_path / "flows.json"
+    rc = main(["flows", str(path), "--top", "2", "--json", str(report)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "latency attribution" in out
+    assert "bottleneck: server.host" in out
+    assert "slowest 2 complete flows" in out
+    assert "origin" in out and "done" in out
+    doc = json.loads(report.read_text())
+    assert doc["flows_complete"] > 0
+    assert doc["bottleneck"] == "server.host"
+    assert len(doc["slowest"]) == 2
+
+
+def test_flows_subcommand_rejects_flowless_trace(tmp_path, capsys):
+    _, _, path = traced_strict_run(tmp_path)
+    assert main(["flows", str(path)]) == 1
+    assert "no flow-hop records" in capsys.readouterr().err
+
+
+def test_flows_subcommand_fails_gracefully_on_missing(tmp_path, capsys):
+    assert main(["flows", str(tmp_path / "nope.json")]) == 1
+    assert "does not exist" in capsys.readouterr().err

@@ -162,3 +162,48 @@ def test_collect_mp_transport_counters():
     assert reg.value("transport.nic.bytes_per_sec") == 2500.0
     assert reg.value("transport.nic.msg_pickle_fallbacks") == 3.0
     assert reg.value("transport.nic.payload_pickles") == 7.0
+
+
+# -- histogram edge cases -----------------------------------------------------
+
+def test_histogram_zero_and_sub_bucket_values_land_in_first_bucket():
+    h = Histogram("h", start=1.0, factor=2.0, buckets=4)
+    for v in (0.0, 0.25, 1.0):  # zero, sub-start, exactly-at-start
+        h.observe(v)
+    assert h.counts[0] == 3
+    assert h.count == 3
+    assert h.sum == 1.25
+    assert h.max == 1.0
+    assert h.quantile(1.0) == 1.0  # upper bound of the holding bucket
+
+
+def test_histogram_single_observation_snapshot():
+    h = Histogram("h", start=1.0, factor=2.0, buckets=4)
+    h.observe(3.0)
+    d = h.to_dict()
+    assert d["count"] == 1
+    assert d["sum"] == 3.0 and d["max"] == 3.0 and d["mean"] == 3.0
+    assert d["buckets"] == {"4": 1}  # only the non-empty bucket serializes
+    assert d["overflow"] == 0
+    assert h.quantile(1.0) == 4.0
+
+
+def test_histogram_bucket_boundary_values_are_inclusive():
+    # bucket i counts observations <= start * factor**i: a value exactly
+    # on a bound belongs to that bucket, never the next one up
+    h = Histogram("h", start=1.0, factor=2.0, buckets=4)
+    for bound in h.bounds:
+        h.observe(bound)
+    assert h.counts == [1, 1, 1, 1, 0]
+
+
+def test_histogram_bounds_stable_across_snapshot_versions():
+    # the bucket layout is part of the snapshot contract: committed
+    # BENCH/report artifacts compare histograms across runs, so the
+    # geometric series (and the schema tag) must not drift
+    assert METRICS_SCHEMA == 1
+    h = Histogram("h", start=1.0, factor=4.0, buckets=16)
+    assert h.bounds == [4.0 ** i for i in range(16)]
+    assert len(h.counts) == 17  # buckets + overflow
+    h2 = Histogram("h", start=1.0, factor=4.0, buckets=16)
+    assert h2.bounds == h.bounds

@@ -89,3 +89,38 @@ def test_run_mp_emits_report_and_merged_trace(tmp_path):
     assert any(n.startswith("wait|") for n in names)
     # cumulative counter tracks for splitsim-inspect
     assert any(n.startswith("comp|") for n in names)
+
+
+@pytest.mark.slow
+def test_run_mp_flow_records_stitch_across_processes(tmp_path):
+    """Flow tracing in the real deployment: per-child hop records merge.
+
+    The same timeline digest as a flow-free mp run pins that provenance
+    is observation-only in the multiprocess transport too, and the merged
+    trace stitches hops from different OS processes into complete flows
+    whose per-hop durations sum exactly to the end-to-end latency.
+    """
+    from repro.obs.flows import analyze_doc
+
+    plain = Instantiation(kv_system()).build()
+    base = plain.run_mp(2 * MS, timeout_s=120, digest=True)
+    base_digests = {n: r.timeline_digest for n, r in base.items()}
+
+    exp = Instantiation(kv_system()).build()
+    trace_dir = tmp_path / "traces"
+    results = exp.run_mp(2 * MS, timeout_s=120, trace_dir=str(trace_dir),
+                         flow_sample=1, digest=True)
+    assert {n: r.timeline_digest for n, r in results.items()} == base_digests
+
+    doc = load_trace(str(trace_dir / "trace.json"))
+    assert validate_chrome_doc(doc) == []
+    hop_pids = {e["pid"] for e in doc["traceEvents"]
+                if e.get("ph") == "i" and e["name"].startswith("fhop|")}
+    assert len(hop_pids) >= 2  # provenance crossed process boundaries
+
+    rep = analyze_doc(doc)
+    complete = rep.complete
+    assert len(complete) > 50
+    for fl in complete:
+        assert sum(fl.breakdown.values()) == fl.end_to_end_ps
+    assert rep.bottleneck() == "server.host"

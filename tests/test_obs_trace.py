@@ -140,3 +140,64 @@ def test_phase_clock_emits_wall_spans():
     assert len(evs) == 1
     assert evs[0]["ph"] == "X" and evs[0]["name"] == "build"
     assert evs[0]["dur"] >= 0.0
+
+
+# -- flow events (ph s/t/f) ---------------------------------------------------
+
+def _flow_doc(events):
+    base = {"pid": 1, "tid": 1, "cat": "flow", "name": "flow", "ts": 1.0}
+    return {"traceEvents": [{**base, **e} for e in events]}
+
+
+def test_validate_accepts_well_formed_flow_triplet():
+    doc = _flow_doc([
+        {"ph": "s", "id": 7},
+        {"ph": "t", "id": 7, "ts": 2.0},
+        {"ph": "f", "id": 7, "bp": "e", "ts": 3.0},
+    ])
+    assert validate_chrome_doc(doc) == []
+
+
+def test_validate_flags_flow_event_without_id():
+    doc = _flow_doc([{"ph": "s"}])
+    problems = validate_chrome_doc(doc)
+    assert any("missing id" in p for p in problems)
+
+
+def test_validate_flags_flow_event_with_empty_cat():
+    doc = _flow_doc([{"ph": "s", "id": 1, "cat": ""}])
+    problems = validate_chrome_doc(doc)
+    assert any("cat" in p for p in problems)
+
+
+def test_validate_flags_continuation_without_start():
+    doc = _flow_doc([
+        {"ph": "t", "id": 9, "ts": 2.0},
+        {"ph": "f", "id": 10, "ts": 3.0},
+    ])
+    problems = validate_chrome_doc(doc)
+    assert any("no start" in p and "9" in p for p in problems)
+    assert any("no start" in p and "10" in p for p in problems)
+
+
+def test_validate_flags_bind_id_mismatch():
+    doc = _flow_doc([
+        {"ph": "s", "id": 3},
+        {"ph": "f", "id": 3, "bind_id": 4, "ts": 2.0},
+    ])
+    problems = validate_chrome_doc(doc)
+    assert any("bind_id" in p for p in problems)
+
+
+def test_tracer_flow_events_export_with_ids():
+    tr = Tracer(pid=2)
+    tid = tr.tid("t")
+    tr.flow_event("s", tid, 1.0, 42)
+    tr.flow_event("t", tid, 2.0, 42)
+    tr.flow_event("f", tid, 3.0, 42)
+    doc = chrome_doc([tr])
+    flow = [e for e in doc["traceEvents"] if e.get("ph") in "stf"]
+    assert [e["ph"] for e in flow] == ["s", "t", "f"]
+    assert all(e["id"] == 42 for e in flow)
+    assert flow[-1]["bp"] == "e"  # flow-end binds enclosing slice
+    assert validate_chrome_doc(doc) == []

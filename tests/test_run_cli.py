@@ -152,3 +152,31 @@ def test_cli_unknown_partition_errors(tmp_path, capsys):
     path = write_config(tmp_path)
     assert main([path, "--partition", "magic"]) == 1
     assert "unknown partition" in capsys.readouterr().err
+
+
+def test_cli_flows_flag_records_and_cleans_up(tmp_path, capsys, monkeypatch):
+    from repro.obs.flows import active_recorder, analyze_doc
+    from repro.obs.trace import load_trace
+
+    monkeypatch.chdir(tmp_path)
+    trace = tmp_path / "kv_trace.json"
+    rc = main([write_config(tmp_path), "--mode", "strict",
+               "--flows", "1", "--trace", str(trace)])
+    assert rc == 0
+    assert active_recorder() is None  # the CLI uninstalls its recorder
+    rep = analyze_doc(load_trace(str(trace)))
+    assert len(rep.complete) > 0
+    assert rep.bottleneck() == "server.host"
+
+
+def test_cli_flows_implies_trace(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    rc = main([write_config(tmp_path), "--mode", "strict", "--flows", "4"])
+    assert rc == 0
+    assert (tmp_path / "trace.json").exists()  # default artifact path
+    assert "wrote trace.json" in capsys.readouterr().out
+
+
+def test_cli_flows_rejects_bad_divisor(tmp_path, capsys):
+    assert main([write_config(tmp_path), "--flows", "0"]) == 1
+    assert "divisor" in capsys.readouterr().err

@@ -32,7 +32,7 @@ payloads = st.one_of(st.none(), small_bytes,
 _PKT_FIELDS = ("src", "dst", "size_bytes", "proto", "src_port", "dst_port",
                "seq", "ack", "flags", "wnd", "data_len", "ect", "ce", "ece",
                "residence_ps", "arrival_ts", "payload", "create_ts", "hops",
-               "uid")
+               "uid", "flow")
 
 
 def packets_equal(a, b):
@@ -45,11 +45,12 @@ def msgs_equal(a, b):
     if type(a) is not type(b):
         return False
     if isinstance(a, EthMsg):
-        return ((a.stamp, a.seq) == (b.stamp, b.seq)
+        return ((a.stamp, a.seq, a.flow, a.hop)
+                == (b.stamp, b.seq, b.flow, b.hop)
                 and packets_equal(a.packet, b.packet))
     if isinstance(a, TrunkMsg):
-        return ((a.stamp, a.seq, a.subchannel)
-                == (b.stamp, b.seq, b.subchannel)
+        return ((a.stamp, a.seq, a.flow, a.hop, a.subchannel)
+                == (b.stamp, b.seq, b.flow, b.hop, b.subchannel)
                 and (a.inner is b.inner is None
                      or msgs_equal(a.inner, b.inner)))
     return a == b
@@ -64,12 +65,12 @@ def packets():
         flags=st.sampled_from(["", "S", "SA", "F"]),
         wnd=u32, data_len=u32, ect=st.booleans(), ce=st.booleans(),
         ece=st.booleans(), residence_ps=u64, arrival_ts=u64,
-        payload=payloads, create_ts=u64, hops=u16, uid=u64,
+        payload=payloads, create_ts=u64, hops=u16, uid=u64, flow=u64,
     )
 
 
 def messages():
-    base = {"stamp": u64, "seq": u64}
+    base = {"stamp": u64, "seq": u64, "flow": u64, "hop": u16}
     return st.one_of(
         st.builds(Msg, **base),
         st.builds(SyncMsg, **base),
@@ -197,7 +198,27 @@ def test_nested_trunk_roundtrip():
 
 
 def test_sync_frame_is_compact():
-    # a sync marker must stay far below pickle size: header + stamp + seq
+    # a sync marker must stay far below pickle size:
+    # header + stamp + seq + flow + hop
     frame = wire.encode(SyncMsg(stamp=10**12), promise=10**12)
-    assert len(frame) == 9 + 16
+    assert len(frame) == 9 + 26
     assert len(frame) < len(pickle.dumps(SyncMsg(stamp=10**12)))
+
+
+@settings(max_examples=200, deadline=None)
+@given(msg=messages(), promise=u64)
+def test_flow_fields_ride_the_struct_fast_path(msg, promise):
+    """Provenance must not knock a message off the fixed-layout codec.
+
+    Every message class carrying in-range flow/hop values round-trips with
+    the fields intact and **zero** pickle fallbacks — the flow header is
+    part of the common struct prefix, so tagged traffic costs the same as
+    untagged on the multiprocess transport.
+    """
+    wire.reset_stats()
+    out, p = wire.decode(wire.encode(msg, promise))
+    assert wire.stats()["msg_pickle_fallbacks"] == 0
+    assert (out.flow, out.hop) == (msg.flow, msg.hop)
+    assert msgs_equal(out, msg) and p == promise
+    if isinstance(msg, EthMsg) and msg.packet is not None:
+        assert out.packet.flow == msg.packet.flow
