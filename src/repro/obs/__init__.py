@@ -14,8 +14,13 @@ measures against.  It has four pieces:
 * :mod:`repro.obs.install` — attaches a tracer to the instrumentation
   points threaded through kernel, channels, netsim, parallel, and
   orchestration.
-* :mod:`repro.obs.telemetry` — live multiprocess heartbeats and the
-  versioned ``run_report.json``.
+* :mod:`repro.obs.telemetry` — live multiprocess heartbeats, the
+  :class:`HealthMonitor` watchdog (stalled/stale/backpressured children),
+  and the versioned ``run_report.json``.
+* :mod:`repro.obs.live` — the live inspection & control plane: a unix
+  socket endpoint on the parent (discoverable via ``control.json``),
+  per-child command mailboxes polled at sync-round boundaries, and the
+  :class:`ControlClient` behind ``splitsim-inspect attach``.
 * :mod:`repro.obs.flows` — end-to-end causal flow tracing: per-message
   provenance (flow/hop ids carried in the wire header), per-hop latency
   records, and the post-processor that reconstructs flow trees, latency
@@ -27,28 +32,42 @@ WTPG reconstructed from trace data.
 """
 
 from .metrics import (Counter, Gauge, Histogram, METRICS_SCHEMA,
-                      MetricsRegistry, collect_experiment, collect_simulation)
-from .telemetry import (Heartbeat, RUN_REPORT_SCHEMA, TelemetryAggregator,
+                      MetricsRegistry, collect_experiment,
+                      collect_live_children, collect_simulation)
+from .telemetry import (HEALTH_DONE, HEALTH_FAILED, HEALTH_OK, HEALTH_STALE,
+                        HEALTH_STALLED, HEALTH_STARTING, Heartbeat,
+                        HealthMonitor, MAX_ALERTS, MAX_HEARTBEATS,
+                        RUN_REPORT_SCHEMA, TelemetryAggregator,
                         build_run_report, write_run_report)
 from .trace import (ORCH_PID, PhaseClock, TRACE_SCHEMA, Tracer, chrome_doc,
-                    load_trace, us_from_ps, validate_chrome_doc)
+                    load_trace, merge_trace_jsonl, us_from_ps,
+                    validate_chrome_doc)
 from .flows import (FLOW_SAMPLE_ENV, Flow, FlowHop, FlowRecorder, FlowReport,
                     analyze_doc, extract_flows, flow_origin, flow_serial,
-                    install_flow_recorder, sample_from_env,
+                    install_flow_recorder, retune_sample, sample_from_env,
                     uninstall_flow_recorder)
+from .live import (CONTROL_FILE, CONTROL_SCHEMA, ChildMailbox, ControlClient,
+                   ControlError, ControlPlane, read_control_file,
+                   wait_for_control)
 from .install import (install_component_tracer, install_network_tracer,
                       install_tracer, wire_tracer)
 
 __all__ = [
-    "Tracer", "PhaseClock", "chrome_doc", "load_trace", "us_from_ps",
-    "validate_chrome_doc", "TRACE_SCHEMA", "ORCH_PID",
+    "Tracer", "PhaseClock", "chrome_doc", "load_trace", "merge_trace_jsonl",
+    "us_from_ps", "validate_chrome_doc", "TRACE_SCHEMA", "ORCH_PID",
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "METRICS_SCHEMA",
-    "collect_simulation", "collect_experiment",
+    "collect_simulation", "collect_experiment", "collect_live_children",
     "install_tracer", "wire_tracer", "install_component_tracer",
     "install_network_tracer",
-    "Heartbeat", "TelemetryAggregator", "build_run_report",
-    "write_run_report", "RUN_REPORT_SCHEMA",
+    "Heartbeat", "TelemetryAggregator", "HealthMonitor", "build_run_report",
+    "write_run_report", "RUN_REPORT_SCHEMA", "MAX_HEARTBEATS", "MAX_ALERTS",
+    "HEALTH_STARTING", "HEALTH_OK", "HEALTH_STALLED", "HEALTH_STALE",
+    "HEALTH_DONE", "HEALTH_FAILED",
     "FlowRecorder", "FlowReport", "Flow", "FlowHop", "FLOW_SAMPLE_ENV",
     "install_flow_recorder", "uninstall_flow_recorder", "analyze_doc",
     "extract_flows", "flow_origin", "flow_serial", "sample_from_env",
+    "retune_sample",
+    "ControlPlane", "ControlClient", "ChildMailbox", "ControlError",
+    "CONTROL_SCHEMA", "CONTROL_FILE", "read_control_file",
+    "wait_for_control",
 ]

@@ -180,6 +180,25 @@ def active_recorder() -> Optional[FlowRecorder]:
     return _ACTIVE[0]
 
 
+def retune_sample(sample_n: int) -> bool:
+    """Retune origin-side 1-in-N sampling on the installed recorder.
+
+    Returns ``False`` when no recorder is installed.  Safe mid-run: only
+    sampling decisions for flows *originated after* the change are
+    affected (already-tagged flows keep emitting), and sampling is
+    observation-only, so retuning never perturbs simulated behaviour.
+    The live control plane's ``set-flow-sample`` command calls this at a
+    quiescent sync-round boundary in every child process.
+    """
+    if sample_n < 1:
+        raise ValueError("sample_n must be >= 1")
+    rec = _ACTIVE[0]
+    if rec is None:
+        return False
+    rec.sample_n = int(sample_n)
+    return True
+
+
 def env_track(env) -> tuple:
     """``(component track, site label)`` for a transport environment.
 

@@ -7,11 +7,22 @@ multiprocess runner's ``trace_dir``)::
     splitsim-inspect trace.json
     splitsim-inspect trace.json --dot wtpg.dot --json summary.json
     splitsim-inspect flows trace.json --top 5
+    splitsim-inspect attach rundir                 # live status view
+    splitsim-inspect attach rundir --json          # one-shot status JSON
+    splitsim-inspect attach rundir dump-trace stop # scripted commands
 
 The ``flows`` subcommand post-processes causal flow-hop records
 (``splitsim-run --flows N`` / ``SPLITSIM_FLOW_SAMPLE``) into per-flow
 latency waterfalls, an aggregate attribution histogram, and the
 flow-derived bottleneck (see :mod:`repro.obs.flows`).
+
+The ``attach`` subcommand connects to a *running* multiprocess
+simulation's control plane (``splitsim-run --control DIR`` /
+``run_mp(control_dir=...)``; see :mod:`repro.obs.live`): a refreshing
+live status view by default, ``--json`` for a one-shot machine-readable
+snapshot, or positional commands (``status``, ``metrics``,
+``dump-trace``, ``set-flow-sample N``, ``stop``, ``ping``) for
+scripting.
 
 It reports:
 
@@ -30,14 +41,17 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import Dict, List, Optional, Tuple
 
 import os
 
+from ..kernel.simtime import fmt_time
 from ..profiler.postprocess import (AdapterMetrics, ComponentMetrics,
                                     ProfileAnalysis)
 from ..profiler.wtpg import build_wtpg, save_dot, to_text
 from .flows import FlowReport, analyze_doc
+from .live import ControlClient, ControlError
 from .metrics import Histogram
 from .trace import load_trace, validate_chrome_doc
 
@@ -279,6 +293,140 @@ def _flows_main(argv: List[str]) -> int:
     return 0
 
 
+# -- live attach --------------------------------------------------------------
+
+def render_status(reply: dict) -> str:
+    """Text rendering of a control-plane ``status`` reply (pure function)."""
+    lines: List[str] = []
+    until = reply.get("until_ps", 0)
+    header = (f"run: {fmt_time(until)} horizon, "
+              f"{reply.get('elapsed_s', 0.0):.1f}s elapsed, "
+              f"{len(reply.get('running', []))} running / "
+              f"{len(reply.get('done', []))} done")
+    if reply.get("stop_requested"):
+        header += "  [stopping]"
+    lines.append(header)
+    components = reply.get("components", {})
+    width = max((len(n) for n in components), default=0)
+    for name in sorted(components):
+        entry = components[name]
+        state = entry.get("state", "?")
+        sim_ps = entry.get("sim_ps")
+        if sim_ps is None:
+            lines.append(f"  {name:<{width}}  {state}")
+            continue
+        progress = entry.get("progress", 0.0)
+        bar = "#" * int(progress * 20)
+        flag = " waiting" if entry.get("waiting") else ""
+        age = entry.get("age_s")
+        age_txt = f" ({age:.1f}s ago)" if age is not None and age > 1.0 else ""
+        lines.append(
+            f"  {name:<{width}}  [{bar:<20}] {progress:>4.0%} "
+            f"{fmt_time(sim_ps):>10} {entry.get('events', 0):>9} ev "
+            f"{entry.get('events_per_sec', 0.0):>10,.0f} ev/s "
+            f"ring {entry.get('ring_fill', 0.0):>4.0%} "
+            f"{state}{flag}{age_txt}")
+    health = reply.get("health") or {}
+    if health.get("degraded"):
+        lines.append("  health: DEGRADED")
+    for alert in (health.get("alerts") or [])[-3:]:
+        lines.append(f"  [{alert.get('t_s', 0):>7.1f}s] {alert.get('comp')}: "
+                     f"{alert.get('kind')} — {alert.get('detail')}")
+    return "\n".join(lines)
+
+
+def _parse_commands(tokens: List[str]) -> List[Tuple[str, dict]]:
+    """Parse scripted attach commands (``set-flow-sample`` eats one arg)."""
+    out: List[Tuple[str, dict]] = []
+    i = 0
+    while i < len(tokens):
+        cmd = tokens[i]
+        i += 1
+        if cmd == "set-flow-sample":
+            if i >= len(tokens):
+                raise ValueError("set-flow-sample needs a sampling "
+                                 "divisor N")
+            try:
+                out.append((cmd, {"n": int(tokens[i])}))
+            except ValueError:
+                raise ValueError(f"set-flow-sample: {tokens[i]!r} is not "
+                                 "an integer") from None
+            i += 1
+        else:
+            out.append((cmd, {}))
+    return out
+
+
+def _attach_main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="splitsim-inspect attach",
+        description="Attach to a running multiprocess simulation's control "
+                    "plane (a run started with splitsim-run --control DIR "
+                    "or run_mp(control_dir=...)).")
+    parser.add_argument("rundir",
+                        help="run directory containing control.json")
+    parser.add_argument("command", nargs="*",
+                        help="scripted command sequence: status, metrics, "
+                             "dump-trace, set-flow-sample N, stop, ping "
+                             "(default: live status view)")
+    parser.add_argument("--json", action="store_true",
+                        help="print one status snapshot as JSON and exit "
+                             "(scripted commands always print JSON)")
+    parser.add_argument("--interval", type=float, default=1.0,
+                        help="live-view refresh period in seconds")
+    parser.add_argument("--wait", type=float, default=5.0,
+                        help="seconds to wait for the control endpoint to "
+                             "appear (a run that is still starting)")
+    args = parser.parse_args(argv)
+    try:
+        commands = _parse_commands(args.command)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        client = ControlClient.attach(args.rundir, wait_s=args.wait)
+    except ControlError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    with client:
+        try:
+            if commands:
+                failed = False
+                for cmd, kwargs in commands:
+                    reply = client.request(cmd, **kwargs)
+                    print(json.dumps(reply, indent=2, default=str))
+                    failed = failed or not reply.get("ok")
+                return 1 if failed else 0
+            if args.json:
+                print(json.dumps(client.status(), indent=2, default=str))
+                return 0
+            return _live_view(client, args.interval)
+        except ControlError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+
+
+def _live_view(client: ControlClient, interval_s: float) -> int:
+    """Refreshing status view until the run finishes or ^C."""
+    try:
+        while True:
+            reply = client.status()
+            block = render_status(reply)
+            sys.stdout.write("\x1b[H\x1b[2J" if sys.stdout.isatty() else "")
+            print(block, flush=True)
+            if not reply.get("running"):
+                print("all components done")
+                return 0
+            time.sleep(interval_s)
+    except KeyboardInterrupt:
+        print()
+        return 0
+    except ControlError:
+        # the run tore the control plane down: a normal way to finish
+        print("run finished (control endpoint closed)")
+        return 0
+
+
 # -- CLI ----------------------------------------------------------------------
 
 def _resolve_trace_path(path: str) -> Optional[str]:
@@ -332,7 +480,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="splitsim-inspect",
         description="Summarize a SplitSim trace: top spans, stall timeline, "
                     "per-edge wait histograms, and the trace-derived WTPG. "
-                    "Use the 'flows' subcommand for causal flow analysis.")
+                    "Use the 'flows' subcommand for causal flow analysis, "
+                    "'attach' to inspect a running simulation live.")
     parser.add_argument("trace", help="Chrome-trace JSON file or run dir")
     parser.add_argument("--top", type=int, default=10,
                         help="span groups to list (default 10)")
@@ -357,6 +506,8 @@ def _main(argv: Optional[List[str]] = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "flows":
         return _flows_main(argv[1:])
+    if argv and argv[0] == "attach":
+        return _attach_main(argv[1:])
     args = build_parser().parse_args(argv)
     doc = _load_doc(args.trace)
     if doc is None:

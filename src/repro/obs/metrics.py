@@ -226,6 +226,22 @@ def _collect_direction(reg: MetricsRegistry, base: str, direction) -> None:
     reg.gauge(f"{base}.max_depth_bytes").set(float(qs.max_depth_bytes))
 
 
+def _fill_transport(reg: MetricsRegistry, base: str,
+                    transport: dict) -> None:
+    """Shared shm-transport counter mapping (``transport.<comp>.*``)."""
+    for key in ("frames_out", "batches_out", "bytes_out",
+                "frames_in", "batches_in", "bytes_in"):
+        if key in transport:
+            reg.counter(f"{base}.{key}").value = float(transport[key])
+    if "frames_per_batch" in transport:
+        reg.gauge(f"{base}.frames_per_batch").set(
+            float(transport["frames_per_batch"]))
+    wire = transport.get("wire") or {}
+    for key in ("msg_pickle_fallbacks", "payload_pickles"):
+        if key in wire:
+            reg.counter(f"{base}.{key}").value = float(wire[key])
+
+
 def collect_mp_transport(results,
                          registry: Optional[MetricsRegistry] = None
                          ) -> MetricsRegistry:
@@ -241,20 +257,39 @@ def collect_mp_transport(results,
     for name, res in sorted(results.items()):
         transport = getattr(res, "transport", None) or {}
         base = f"transport.{name}"
-        for key in ("frames_out", "batches_out", "bytes_out",
-                    "frames_in", "batches_in", "bytes_in"):
-            if key in transport:
-                reg.counter(f"{base}.{key}").value = float(transport[key])
-        if "frames_per_batch" in transport:
-            reg.gauge(f"{base}.frames_per_batch").set(
-                float(transport["frames_per_batch"]))
+        _fill_transport(reg, base, transport)
         if res.wall_seconds > 0 and "bytes_out" in transport:
             reg.gauge(f"{base}.bytes_per_sec").set(
                 transport["bytes_out"] / res.wall_seconds)
-        wire = transport.get("wire") or {}
-        for key in ("msg_pickle_fallbacks", "payload_pickles"):
-            if key in wire:
-                reg.counter(f"{base}.{key}").value = float(wire[key])
+    return reg
+
+
+def collect_live_children(payloads: Dict[str, dict],
+                          registry: Optional[MetricsRegistry] = None
+                          ) -> MetricsRegistry:
+    """Registry over live child snapshots from the control plane.
+
+    ``payloads`` maps component name to the mailbox ``metrics`` reply:
+    ``commit_ps``, ``events``, ``work_cycles``, per-end counter dicts
+    under ``ends``, and optionally ``transport``.  Mirrors the
+    :func:`collect_simulation` namespace (``component.*``, ``channel.*``)
+    plus :func:`collect_mp_transport`'s ``transport.*``, so one consumer
+    reads post-hoc and live snapshots identically.
+    """
+    reg = registry if registry is not None else MetricsRegistry()
+    for name, p in sorted(payloads.items()):
+        base = f"component.{name}"
+        reg.counter(f"{base}.events").value = float(p.get("events", 0))
+        reg.counter(f"{base}.work_cycles").value = float(
+            p.get("work_cycles", 0))
+        reg.gauge(f"{base}.sim_ps").set(float(p.get("commit_ps", 0)))
+        for end_name, counters in sorted((p.get("ends") or {}).items()):
+            ebase = f"channel.{name}.{end_name}"
+            for k, v in counters.items():
+                reg.counter(f"{ebase}.{k}").value = float(v)
+        transport = p.get("transport")
+        if transport:
+            _fill_transport(reg, f"transport.{name}", transport)
     return reg
 
 

@@ -37,6 +37,7 @@ clock is always wall time (documented in DESIGN.md §6).
 from __future__ import annotations
 
 import json
+import os
 import time
 from typing import Any, Dict, List, Optional
 
@@ -239,6 +240,55 @@ def chrome_doc(tracers, extra_meta: Optional[dict] = None) -> dict:
         meta.update(extra_meta)
     return {"traceEvents": events, "displayTimeUnit": "ms",
             "otherData": meta}
+
+
+def merge_trace_jsonl(trace_dir: str, names, suffix=".trace.jsonl",
+                      parent_tracer: Optional[Tracer] = None,
+                      out_name: str = "trace.json") -> str:
+    """Merge per-process JSONL traces into one Chrome-trace document.
+
+    Reads ``<name><suffix>`` for every name in ``names``; ``suffix`` may
+    be a sequence tried in order (the control plane's partial dump
+    prefers a child's ``.trace.partial.jsonl`` flush but falls back to
+    the final ``.trace.jsonl`` of an already-finished child).  Missing
+    files are skipped: a child may have died — or, for a live partial
+    dump, not have flushed yet.  Prepends ``parent_tracer``'s phase
+    spans and writes ``trace_dir/<out_name>``.  Used both for the final
+    merged ``trace.json`` and for the control plane's on-demand
+    ``trace.partial.json`` flush of a still-running simulation; the
+    output is a complete, valid document either way.
+    """
+    suffixes = [suffix] if isinstance(suffix, str) else list(suffix)
+    events: List[dict] = []
+    clocks: Dict[str, str] = {}
+    dropped = 0
+    if parent_tracer is not None:
+        events.extend(parent_tracer.metadata_events())
+        events.extend(parent_tracer.events())
+        clocks[str(parent_tracer.pid)] = parent_tracer.clock
+        dropped += parent_tracer.dropped
+    for index, name in enumerate(names):
+        for suf in suffixes:
+            child = os.path.join(trace_dir, f"{name}{suf}")
+            if os.path.exists(child):
+                break
+        else:
+            continue
+        events.extend(load_trace(child)["traceEvents"])
+        clocks[str(index + 1)] = "wall"
+    doc = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"schema": TRACE_SCHEMA,
+                      "clock_domains": clocks,
+                      "dropped_records": dropped},
+    }
+    path = os.path.join(trace_dir, out_name)
+    tmp = path + ".tmp"
+    with open(tmp, "w") as fh:
+        json.dump(doc, fh, separators=(",", ":"))
+    os.replace(tmp, path)  # readers never see a half-written document
+    return path
 
 
 def load_trace(path: str) -> dict:

@@ -205,7 +205,10 @@ class Experiment:
                trace_dir: Optional[str] = None,
                hb_interval_s: float = 0.25,
                flow_sample: Optional[int] = None,
-               digest: bool = False):
+               digest: bool = False,
+               control_dir: Optional[str] = None,
+               stall_intervals: int = 4,
+               stale_after_s: Optional[float] = None):
         """Run this experiment with one OS process per component simulator.
 
         This is the paper's actual deployment (shared-memory channels,
@@ -214,7 +217,9 @@ class Experiment:
         the per-process results of :class:`~repro.parallel.procrunner`.
         ``progress``/``report_path``/``trace_dir`` switch on live heartbeat
         telemetry, the versioned ``run_report.json``, and per-child traces
-        merged into ``trace_dir/trace.json``.
+        merged into ``trace_dir/trace.json``.  ``control_dir`` serves the
+        live control plane (``splitsim-inspect attach``) from that run
+        directory; ``stall_intervals``/``stale_after_s`` tune its watchdog.
         """
         specs = [ProcSpec(c.name, component=c) for c in self.sim.components]
         channels = [
@@ -225,7 +230,10 @@ class Experiment:
         return runner.run(duration_ps, timeout_s=timeout_s,
                           progress=progress, report_path=report_path,
                           trace_dir=trace_dir, hb_interval_s=hb_interval_s,
-                          flow_sample=flow_sample, digest=digest)
+                          flow_sample=flow_sample, digest=digest,
+                          control_dir=control_dir,
+                          stall_intervals=stall_intervals,
+                          stale_after_s=stale_after_s)
 
     def execution_model(self, sim_time_ps: int) -> ParallelExecutionModel:
         """Virtual-time model over this experiment's recorded workload."""

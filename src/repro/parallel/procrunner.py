@@ -23,7 +23,6 @@ constructed inside the child process::
 from __future__ import annotations
 
 import hashlib
-import json
 import multiprocessing as mp
 import os
 import sys
@@ -207,7 +206,8 @@ def _child_main(spec: ProcSpec,
                 telemetry_q=None, trace_dir: Optional[str] = None,
                 hb_interval_s: float = 0.25, index: int = 0,
                 digest: bool = False,
-                flow_sample: Optional[int] = None) -> None:
+                flow_sample: Optional[int] = None,
+                cmd_q=None, reply_q=None) -> None:
     result = ProcResult(name=spec.name)
     rings: List[ShmRing] = []
     tracer = None
@@ -249,6 +249,16 @@ def _child_main(spec: ProcSpec,
         if telemetry_q is not None or tracer is not None:
             pump = _HeartbeatPump(spec.name, telemetry_q, tracer, comp,
                                   in_rings, t_start, hb_interval_s)
+        mailbox = None
+        if cmd_q is not None:
+            # Control-plane command mailbox, polled at sync-round
+            # boundaries only: commands execute at a quiescent horizon and
+            # can never interleave with event execution.
+            from ..obs.live import ChildMailbox
+            mailbox = ChildMailbox(
+                spec.name, cmd_q, reply_q, comp, tracer=tracer,
+                trace_dir=trace_dir,
+                transport_stats=lambda: _transport_stats(rings))
         deadline = t_start + timeout_s
         ends = comp.ends
         wait_ns = 0
@@ -264,6 +274,8 @@ def _child_main(spec: ProcSpec,
                 e.flush(blocked=done or blocked, deadline=deadline)
             if pump is not None:
                 pump.maybe(commit, waiting=False)
+            if mailbox is not None and mailbox.poll(commit):
+                break  # graceful stop at this quiescent horizon
             if done:
                 break
             if blocked:
@@ -275,6 +287,7 @@ def _child_main(spec: ProcSpec,
                 t0 = time.perf_counter_ns()
                 spins = 0
                 naps = 0
+                stopping = False
                 while all(e.in_q.empty() for e in blocking):
                     spins += 1
                     if spins % _SPIN_BATCH:
@@ -287,6 +300,9 @@ def _child_main(spec: ProcSpec,
                     naps += 1
                     if pump is not None:
                         pump.maybe(commit, waiting=True)
+                    if mailbox is not None and mailbox.poll(commit):
+                        stopping = True  # commit is still quiescent here
+                        break
                     if time.perf_counter() > deadline:
                         raise TimeoutError(
                             f"{spec.name} stuck at commit={commit}"
@@ -305,6 +321,8 @@ def _child_main(spec: ProcSpec,
                         {"commit": commit,
                          "on": [e.peer_comp_name or e.peer_name
                                 for e in blocking]})
+                if stopping:
+                    break
             last_commit = commit
         result.events = comp.events_processed
         result.wall_seconds = time.perf_counter() - t_start
@@ -351,7 +369,10 @@ class ProcessRunner:
             trace_dir: Optional[str] = None,
             hb_interval_s: float = 0.25,
             digest: bool = False,
-            flow_sample: Optional[int] = None) -> Dict[str, ProcResult]:
+            flow_sample: Optional[int] = None,
+            control_dir: Optional[str] = None,
+            stall_intervals: int = 4,
+            stale_after_s: Optional[float] = None) -> Dict[str, ProcResult]:
         """Run all components to ``until_ps``; returns per-component results.
 
         Parameters
@@ -360,19 +381,32 @@ class ProcessRunner:
             Render a live one-line status (stderr) from child heartbeats.
         report_path:
             Write the versioned ``run_report.json`` here after the run
-            (written even when a component fails, before raising).
+            (written even when a component fails or the parent times out,
+            before raising).
         trace_dir:
             Directory for per-child wall-clock traces (JSONL) and the
             merged ``trace.json`` Chrome-trace document.
         hb_interval_s:
             Child heartbeat period; heartbeats are only collected when
-            ``progress`` or ``report_path`` is requested.
+            ``progress``, ``report_path`` or ``control_dir`` is requested.
         digest:
             Record each child's event timeline and return its SHA-256 in
             ``ProcResult.timeline_digest`` (determinism checks).
         flow_sample:
             Keep 1-in-N causal flows in the per-child traces (needs
             ``trace_dir``); ``None`` defers to ``SPLITSIM_FLOW_SAMPLE``.
+        control_dir:
+            Serve the live control plane from this run directory: a
+            ``control.json`` discovery file plus a unix-socket endpoint
+            that ``splitsim-inspect attach`` connects to.  Children poll
+            a command mailbox at sync-round boundaries, so commands never
+            perturb event order (the determinism digest is unchanged).
+        stall_intervals:
+            Heartbeat intervals without sim-time progress before the
+            watchdog flags a component as stalled.
+        stale_after_s:
+            Age after which a silent component is flagged stale; default
+            ``max(2.0, 8 * hb_interval_s)``.
         """
         ctx = mp.get_context("fork")
         rings: List[ShmRing] = []
@@ -380,13 +414,20 @@ class ProcessRunner:
         wiring: Dict[str, List[Tuple[str, str, str, str, str]]] = {
             s.name: [] for s in self.specs
         }
-        want_telemetry = progress or report_path is not None
+        names = [s.name for s in self.specs]
+        want_telemetry = (progress or report_path is not None
+                          or control_dir is not None)
         aggregator = None
+        monitor = None
         telemetry_q = None
         parent_tracer = None
+        control = None
         if want_telemetry:
-            from ..obs.telemetry import TelemetryAggregator
-            aggregator = TelemetryAggregator([s.name for s in self.specs])
+            from ..obs.telemetry import TelemetryAggregator, HealthMonitor
+            aggregator = TelemetryAggregator(names)
+            monitor = HealthMonitor(names, hb_interval_s=hb_interval_s,
+                                    stall_intervals=stall_intervals,
+                                    stale_after_s=stale_after_s)
         if trace_dir is not None:
             os.makedirs(trace_dir, exist_ok=True)
             from ..obs.trace import Tracer
@@ -408,19 +449,41 @@ class ProcessRunner:
             result_q = ctx.Queue()
             if want_telemetry:
                 telemetry_q = ctx.Queue()
+            cmd_queues: Dict[str, object] = {}
+            reply_q = None
+            if control_dir is not None:
+                os.makedirs(control_dir, exist_ok=True)
+                cmd_queues = {name: ctx.Queue() for name in names}
+                reply_q = ctx.Queue()
             launch_us = 0.0
             procs = [
                 ctx.Process(
                     target=_child_main,
                     args=(spec, wiring[spec.name], until_ps, result_q,
                           timeout_s, telemetry_q, trace_dir, hb_interval_s,
-                          index, digest, flow_sample),
+                          index, digest, flow_sample,
+                          cmd_queues.get(spec.name), reply_q),
                     name=f"splitsim-{spec.name}",
                 )
                 for index, spec in enumerate(self.specs)
             ]
             for p in procs:
                 p.start()
+            if control_dir is not None:
+                from ..obs.live import ControlPlane
+                merge_partial = None
+                if trace_dir is not None:
+                    from ..obs.trace import merge_trace_jsonl
+                    merge_partial = lambda: merge_trace_jsonl(
+                        trace_dir, names,
+                        suffix=(".trace.partial.jsonl", ".trace.jsonl"),
+                        parent_tracer=parent_tracer,
+                        out_name="trace.partial.json")
+                control = ControlPlane(
+                    control_dir, names, until_ps, aggregator, monitor,
+                    cmd_queues, reply_q, trace_dir=trace_dir,
+                    merge_partial=merge_partial)
+                control.start()
             if parent_tracer is not None:
                 launch_us = parent_tracer.wall_us()
                 parent_tracer.span(parent_tracer.tid("phases"), "phase",
@@ -429,22 +492,29 @@ class ProcessRunner:
             t_run0 = time.perf_counter()
             results: Dict[str, ProcResult] = {}
             deadline = time.monotonic() + timeout_s + 10
+            timed_out = False
             while len(results) < len(procs):
                 if time.monotonic() > deadline:
-                    raise TimeoutError("simulation processes did not finish")
-                self._drain_telemetry(telemetry_q, aggregator, progress)
+                    timed_out = True
+                    break
+                self._drain_telemetry(telemetry_q, aggregator, monitor,
+                                      progress)
                 try:
                     res: ProcResult = result_q.get(
                         timeout=hb_interval_s if want_telemetry else 0.5)
                 except Empty:
                     continue
                 results[res.name] = res
-            self._drain_telemetry(telemetry_q, aggregator, progress)
+                if monitor is not None:
+                    monitor.note_done(res.name, res.error)
+                if control is not None:
+                    control.note_done(res.name, res.error)
+            self._drain_telemetry(telemetry_q, aggregator, monitor, progress)
             if progress:
                 sys.stderr.write("\n")
                 sys.stderr.flush()
             for p in procs:
-                p.join(timeout=10)
+                p.join(timeout=0.1 if timed_out else 10)
                 if p.is_alive():  # pragma: no cover - cleanup path
                     p.terminate()
             wall_total = time.perf_counter() - t_run0
@@ -459,12 +529,20 @@ class ProcessRunner:
                                              write_run_report)
                 write_run_report(report_path, build_run_report(
                     until_ps, wall_total, results, aggregator,
-                    trace=trace_path))
+                    trace=trace_path,
+                    health=monitor.report() if monitor else None))
+            if timed_out:
+                missing = sorted(set(names) - set(results))
+                raise TimeoutError(
+                    "simulation processes did not finish: "
+                    f"no result from {missing}")
             errors = {n: r.error for n, r in results.items() if r.error}
             if errors:
                 raise RuntimeError(f"component failures: {errors}")
             return results
         finally:
+            if control is not None:
+                control.close()
             for ring in rings:
                 # close/unlink are idempotent and must not mask each other:
                 # every segment gets its unlink attempt even if an earlier
@@ -474,9 +552,9 @@ class ProcessRunner:
                 finally:
                     ring.unlink()
 
-    def _drain_telemetry(self, telemetry_q, aggregator,
+    def _drain_telemetry(self, telemetry_q, aggregator, monitor,
                          progress: bool) -> None:
-        """Consume pending heartbeats; refresh the status line if asked."""
+        """Consume pending heartbeats; watchdog pass; refresh status line."""
         if telemetry_q is None:
             return
         noted = False
@@ -487,30 +565,18 @@ class ProcessRunner:
                 break
             aggregator.note(hb)
             noted = True
+        if monitor is not None:
+            monitor.observe(aggregator)
         if progress and noted:
-            sys.stderr.write("\r\x1b[K" + aggregator.status_line())
+            line = aggregator.status_line(
+                stale_after_s=monitor.stale_after_s if monitor else None)
+            if monitor is not None:
+                line += monitor.badge()
+            sys.stderr.write("\r\x1b[K" + line)
             sys.stderr.flush()
 
     def _merge_traces(self, trace_dir: str, parent_tracer) -> str:
         """Merge per-child JSONL traces + runner phases into trace.json."""
-        from ..obs.trace import TRACE_SCHEMA, load_trace
-        events = parent_tracer.metadata_events() + parent_tracer.events()
-        clocks = {"0": "wall"}
-        dropped = parent_tracer.dropped
-        for index, spec in enumerate(self.specs):
-            child = os.path.join(trace_dir, f"{spec.name}.trace.jsonl")
-            if not os.path.exists(child):
-                continue  # child died before writing its trace
-            events.extend(load_trace(child)["traceEvents"])
-            clocks[str(index + 1)] = "wall"
-        doc = {
-            "traceEvents": events,
-            "displayTimeUnit": "ms",
-            "otherData": {"schema": TRACE_SCHEMA,
-                          "clock_domains": clocks,
-                          "dropped_records": dropped},
-        }
-        path = os.path.join(trace_dir, "trace.json")
-        with open(path, "w") as fh:
-            json.dump(doc, fh, separators=(",", ":"))
-        return path
+        from ..obs.trace import merge_trace_jsonl
+        return merge_trace_jsonl(trace_dir, [s.name for s in self.specs],
+                                 parent_tracer=parent_tracer)

@@ -75,6 +75,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the raw profiler log (profile.jsonl), "
                              "the WTPG (wtpg.dot) and the trace "
                              "(trace.json) into DIR; implies --profile")
+    parser.add_argument("--control", metavar="DIR", default=None,
+                        help="run multiprocess (one OS process per "
+                             "component) and serve the live control plane "
+                             "from DIR: control.json + unix socket for "
+                             "'splitsim-inspect attach DIR', per-child "
+                             "traces in DIR/traces, run_report.json")
+    parser.add_argument("--progress", action="store_true",
+                        help="live one-line status from child heartbeats "
+                             "(multiprocess runs only)")
     return parser
 
 
@@ -133,10 +142,39 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     exp = Instantiation(system, **inst_kwargs).build()
     try:
+        if args.control:
+            return _run_mp(args, exp, duration, duration_text)
         return _run(args, exp, duration, duration_text)
     finally:
         if exp.flow_recorder is not None:
             exp.disable_flow_tracing()
+
+
+def _run_mp(args, exp, duration: int, duration_text: str) -> int:
+    """Multiprocess run serving the live control plane from a run dir."""
+    rundir = Path(args.control)
+    rundir.mkdir(parents=True, exist_ok=True)
+    trace_dir = rundir / "traces"
+    report_path = rundir / "run_report.json"
+    components = [c.name for c in exp.sim.components]
+    print(f"running {len(components)} component processes for "
+          f"{duration_text}: {', '.join(components)}")
+    print(f"control plane: {rundir}  "
+          f"(attach with: splitsim-inspect attach {rundir})")
+    results = exp.run_mp(duration, progress=args.progress,
+                         report_path=str(report_path),
+                         trace_dir=str(trace_dir),
+                         control_dir=str(rundir),
+                         flow_sample=args.flows)
+    for name in sorted(results):
+        res = results[name]
+        print(f"  {name}: {res.events} events, "
+              f"{res.wall_seconds:.2f}s wall "
+              f"({res.wait_seconds:.2f}s blocked)")
+        for key, value in sorted(res.outputs.items()):
+            print(f"    {key}: {value}")
+    print(f"wrote {report_path}")
+    return 0
 
 
 def _run(args, exp, duration: int, duration_text: str) -> int:

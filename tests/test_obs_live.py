@@ -1,0 +1,631 @@
+"""Live inspection & control plane: watchdog, mailbox, attach, reports.
+
+Covers the :mod:`repro.obs.live` control plane (unix-socket endpoint,
+``control.json`` discovery, child command mailboxes), the
+:class:`~repro.obs.telemetry.HealthMonitor` watchdog, the bounded
+heartbeat history and staleness rendering of the aggregator, and the
+``run_report.json`` v2 builder — plus end-to-end tests that attach to a
+real running multiprocess simulation, dump a partial trace, stop it
+gracefully, and pin that control commands never perturb the determinism
+digest.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.bench.mp import pipeline_specs
+from repro.channels.channel import ChannelEnd
+from repro.channels.messages import RawMsg
+from repro.kernel.component import Component
+from repro.kernel.simtime import MS, NS, SEC, US
+from repro.obs.inspect_cli import render_status, _parse_commands
+from repro.obs.live import (CONTROL_FILE, CONTROL_SCHEMA, ChildMailbox,
+                            ControlClient, ControlError, ControlPlane,
+                            read_control_file, socket_path_for,
+                            wait_for_control)
+from repro.obs.telemetry import (HEALTH_DONE, HEALTH_FAILED, HEALTH_OK,
+                                 HEALTH_STALE, HEALTH_STALLED,
+                                 HEALTH_STARTING, Heartbeat, HealthMonitor,
+                                 RUN_REPORT_SCHEMA, TelemetryAggregator,
+                                 build_run_report, write_run_report)
+from repro.obs.trace import load_trace, validate_chrome_doc
+from repro.parallel.procrunner import ProcResult, ProcessRunner
+
+
+def hb(comp, sim_ps=0, wall_s=0.0, eps=1000.0, fill=0.1, waiting=False,
+       events=10):
+    return Heartbeat(comp=comp, wall_s=wall_s, sim_ps=sim_ps, events=events,
+                     events_per_sec=eps, ring_fill=fill, waiting=waiting)
+
+
+class FakeClock:
+    def __init__(self, t=100.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+
+# -- aggregator: bounded history + staleness ---------------------------------
+
+def test_history_is_bounded_ring_drops_oldest():
+    """The cap drops the *oldest* beat, not the newest (regression).
+
+    The old implementation stopped appending at the cap, silently
+    discarding every new beat — the report then showed only the start of
+    the run while claiming to be recent history.
+    """
+    agg = TelemetryAggregator(["a"], max_history=4)
+    for i in range(10):
+        agg.note(hb("a", sim_ps=i))
+    assert len(agg.history) == 4
+    assert [h["sim_ps"] for h in agg.history] == [6, 7, 8, 9]
+
+
+def test_history_unbounded_below_cap():
+    agg = TelemetryAggregator(["a"], max_history=100)
+    for i in range(5):
+        agg.note(hb("a", sim_ps=i))
+    assert [h["sim_ps"] for h in agg.history] == [0, 1, 2, 3, 4]
+
+
+def test_status_line_marks_stale_components():
+    clock = FakeClock()
+    agg = TelemetryAggregator(["a", "b"], clock=clock)
+    agg.note(hb("a", sim_ps=5 * US, eps=1234.0))
+    agg.note(hb("b", sim_ps=5 * US))
+    clock.t += 10.0
+    agg.note(hb("b", sim_ps=6 * US))  # b beats again; a goes silent
+    line = agg.status_line(stale_after_s=5.0)
+    assert "a: stale(10.0s)" in line
+    assert "stale" not in line.split("|")[1]  # b renders normally
+    assert "ev/s" in line
+
+
+def test_status_line_fresh_component_shows_rate():
+    agg = TelemetryAggregator(["a"])
+    agg.note(hb("a", sim_ps=5 * US, eps=1234.0))
+    line = agg.status_line()
+    assert "1,234" in line and "stale" not in line
+
+
+def test_age_s_none_before_first_beat():
+    agg = TelemetryAggregator(["a"])
+    assert agg.age_s("a") is None
+
+
+# -- health monitor -----------------------------------------------------------
+
+def make_monitor(clock, **kw):
+    kw.setdefault("hb_interval_s", 0.1)
+    kw.setdefault("stall_intervals", 3)
+    kw.setdefault("stale_after_s", 1.0)
+    return HealthMonitor(["a", "b"], clock=clock, **kw)
+
+
+def test_monitor_starting_then_ok():
+    clock = FakeClock()
+    agg = TelemetryAggregator(["a", "b"], clock=clock)
+    mon = make_monitor(clock)
+    assert mon.states() == {"a": HEALTH_STARTING, "b": HEALTH_STARTING}
+    agg.note(hb("a", sim_ps=1 * US, wall_s=0.1))
+    mon.observe(agg)
+    assert mon.state("a") == HEALTH_OK
+    assert mon.state("b") == HEALTH_STARTING
+    assert not mon.degraded and mon.badge() == ""
+
+
+def test_monitor_flags_stall_and_recovery():
+    clock = FakeClock()
+    agg = TelemetryAggregator(["a", "b"], clock=clock)
+    mon = make_monitor(clock)
+    sim_ps = 5 * US
+    for i in range(5):  # beats keep arriving, sim time frozen
+        clock.t += 0.1
+        agg.note(hb("a", sim_ps=sim_ps, wall_s=0.1 * (i + 1), waiting=True))
+        mon.observe(agg)
+    assert mon.state("a") == HEALTH_STALLED
+    assert mon.degraded
+    assert "a:stalled" in mon.badge()
+    stall_alerts = [al for al in mon.alerts if al["kind"] == "stalled"]
+    assert len(stall_alerts) == 1  # rising edge only, not once per beat
+    assert stall_alerts[0]["comp"] == "a"
+    # progress resumes -> ok + a recovery alert
+    clock.t += 0.1
+    agg.note(hb("a", sim_ps=sim_ps + US, wall_s=0.7))
+    mon.observe(agg)
+    assert mon.state("a") == HEALTH_OK
+    assert any(al["kind"] == "recovered" for al in mon.alerts)
+
+
+def test_monitor_flags_stale_after_silence():
+    clock = FakeClock()
+    agg = TelemetryAggregator(["a", "b"], clock=clock)
+    mon = make_monitor(clock)
+    agg.note(hb("a", sim_ps=1 * US, wall_s=0.1))
+    mon.observe(agg)
+    clock.t += 2.0  # silence beyond stale_after_s
+    mon.observe(agg)
+    assert mon.state("a") == HEALTH_STALE
+    assert any(al["kind"] == "stale" and al["comp"] == "a"
+               for al in mon.alerts)
+
+
+def test_monitor_flags_never_beating_child_after_grace():
+    clock = FakeClock()
+    agg = TelemetryAggregator(["a", "b"], clock=clock)
+    mon = make_monitor(clock)
+    clock.t += 2.0
+    mon.observe(agg)
+    assert mon.state("a") == HEALTH_STALE
+    assert mon.state("b") == HEALTH_STALE
+
+
+def test_monitor_backpressure_alert_on_rising_edge():
+    clock = FakeClock()
+    agg = TelemetryAggregator(["a", "b"], clock=clock)
+    mon = make_monitor(clock, ring_alert_fill=0.9)
+    for i in range(3):  # full ring across several beats: one alert
+        clock.t += 0.1
+        agg.note(hb("a", sim_ps=US * (i + 1), wall_s=0.1 * (i + 1),
+                    fill=0.95))
+        mon.observe(agg)
+    assert [al["kind"] for al in mon.alerts] == ["backpressure"]
+    # drains, then fills again -> second episode, second alert
+    clock.t += 0.1
+    agg.note(hb("a", sim_ps=5 * US, wall_s=0.4, fill=0.2))
+    mon.observe(agg)
+    clock.t += 0.1
+    agg.note(hb("a", sim_ps=6 * US, wall_s=0.5, fill=0.95))
+    mon.observe(agg)
+    assert [al["kind"] for al in mon.alerts] == ["backpressure",
+                                                 "backpressure"]
+
+
+def test_monitor_done_and_failed_are_terminal():
+    clock = FakeClock()
+    agg = TelemetryAggregator(["a", "b"], clock=clock)
+    mon = make_monitor(clock)
+    mon.note_done("a")
+    mon.note_done("b", error="RuntimeError: boom")
+    assert mon.state("a") == HEALTH_DONE
+    assert mon.state("b") == HEALTH_FAILED
+    assert mon.degraded and "b:failed" in mon.badge()
+    clock.t += 10.0
+    mon.observe(agg)  # terminal states never regress to stale
+    assert mon.state("a") == HEALTH_DONE
+
+
+def test_monitor_report_shape():
+    clock = FakeClock()
+    mon = make_monitor(clock)
+    rep = mon.report()
+    assert rep["watchdog"]["stall_intervals"] == 3
+    assert rep["watchdog"]["stale_after_s"] == 1.0
+    assert rep["components"] == {"a": HEALTH_STARTING, "b": HEALTH_STARTING}
+    assert rep["degraded"] is False
+    assert rep["alerts"] == []
+    json.dumps(rep)  # must be JSON-serializable as-is
+
+
+def test_monitor_default_stale_threshold_scales_with_interval():
+    assert HealthMonitor(["a"], hb_interval_s=0.25).stale_after_s == 2.0
+    assert HealthMonitor(["a"], hb_interval_s=1.0).stale_after_s == 8.0
+
+
+# -- run report v2 ------------------------------------------------------------
+
+def test_run_report_v2_roundtrip(tmp_path):
+    results = {
+        "good": ProcResult(name="good", events=42, wall_seconds=1.5,
+                           wait_seconds=0.5, work_cycles=9.0,
+                           outputs={"log": [1, 2]}),
+        "bad": ProcResult(name="bad", error="RuntimeError: boom"),
+    }
+    agg = TelemetryAggregator(["good", "bad"])
+    agg.note(hb("good", sim_ps=3 * US))
+    mon = HealthMonitor(["good", "bad"])
+    mon.note_done("good")
+    mon.note_done("bad", error="RuntimeError: boom")
+    report = build_run_report(10 * US, 2.0, results, agg, trace="t.json",
+                              health=mon.report())
+    assert report["schema"] == RUN_REPORT_SCHEMA == 2
+    assert report["components"]["good"]["events"] == 42
+    assert report["components"]["good"]["outputs"] == {"log": [1, 2]}
+    assert report["components"]["good"]["error"] is None
+    assert report["components"]["bad"]["error"] == "RuntimeError: boom"
+    assert report["trace"] == "t.json"
+    assert report["health"]["components"]["bad"] == HEALTH_FAILED
+    assert report["heartbeats"][0]["comp"] == "good"
+
+    path = tmp_path / "run_report.json"
+    write_run_report(str(path), report)
+    loaded = json.loads(path.read_text())
+    assert loaded == json.loads(json.dumps(report, default=str))
+    assert loaded["schema"] == 2
+    assert loaded["health"]["degraded"] is True
+
+
+def test_run_report_health_defaults_to_null():
+    report = build_run_report(1 * US, 0.1, {})
+    assert report["schema"] == 2
+    assert report["health"] is None
+    assert report["heartbeats"] == []
+
+
+# -- child mailbox (no processes) ---------------------------------------------
+
+class FakeEnd:
+    def __init__(self, name):
+        self.name = name
+
+    def counters(self):
+        return {"tx_msgs": 7, "rx_msgs": 5}
+
+
+class FakeComp:
+    events_processed = 99
+    work_cycles = 123.0
+    ends = (FakeEnd("x.e"),)
+
+
+def make_mailbox(**kw):
+    import queue
+    cmd_q, reply_q = queue.Queue(), queue.Queue()
+    box = ChildMailbox("x", cmd_q, reply_q, FakeComp(), **kw)
+    return box, cmd_q, reply_q
+
+
+def test_mailbox_idle_poll_is_cheap_and_false():
+    box, _, reply_q = make_mailbox()
+    assert box.poll(5 * US) is False
+    assert reply_q.empty()
+
+
+def test_mailbox_metrics_snapshot_at_commit_horizon():
+    box, cmd_q, reply_q = make_mailbox(
+        transport_stats=lambda: {"frames_out": 3})
+    cmd_q.put({"cmd": "metrics", "req": 7})
+    assert box.poll(5 * US) is False
+    req, comp, payload = reply_q.get_nowait()
+    assert (req, comp) == (7, "x")
+    assert payload["commit_ps"] == 5 * US
+    assert payload["events"] == 99
+    assert payload["ends"]["x.e"]["tx_msgs"] == 7
+    assert payload["transport"] == {"frames_out": 3}
+
+
+def test_mailbox_stop_acks_then_reports_stop():
+    box, cmd_q, reply_q = make_mailbox()
+    cmd_q.put({"cmd": "stop", "req": 1})
+    assert box.poll(3 * US) is True
+    assert box.poll(3 * US) is True  # sticky
+    _, _, payload = reply_q.get_nowait()
+    assert payload == {"stopping_at_ps": 3 * US}
+
+
+def test_mailbox_dump_trace_without_tracer_is_an_error_reply():
+    box, cmd_q, reply_q = make_mailbox()
+    cmd_q.put({"cmd": "dump-trace", "req": 2})
+    box.poll(0)
+    _, _, payload = reply_q.get_nowait()
+    assert "error" in payload
+
+
+def test_mailbox_set_flow_sample_without_recorder():
+    box, cmd_q, reply_q = make_mailbox()
+    cmd_q.put({"cmd": "set-flow-sample", "n": 4, "req": 3})
+    box.poll(0)
+    _, _, payload = reply_q.get_nowait()
+    assert "error" in payload  # no recorder installed in this process
+
+
+def test_mailbox_survives_bad_command():
+    box, cmd_q, reply_q = make_mailbox()
+    cmd_q.put({"cmd": "no-such", "req": 4})
+    assert box.poll(0) is False
+    _, _, payload = reply_q.get_nowait()
+    assert "unhandled" in payload["error"]
+
+
+def test_retune_sample_validates():
+    from repro.obs.flows import retune_sample
+    with pytest.raises(ValueError):
+        retune_sample(0)
+    assert retune_sample(4) is False  # nothing installed here
+
+
+# -- control plane protocol (no child processes) ------------------------------
+
+def test_socket_path_relocates_when_rundir_too_long(tmp_path):
+    short = socket_path_for(str(tmp_path))
+    assert short.startswith(str(tmp_path))
+    deep = tmp_path / ("x" * 120)
+    relocated = socket_path_for(str(deep))
+    assert not relocated.startswith(str(deep))
+    assert len(relocated.encode()) <= 100
+
+
+def test_wait_for_control_times_out_with_hint(tmp_path):
+    with pytest.raises(ControlError, match="control endpoint"):
+        wait_for_control(str(tmp_path), timeout_s=0.15, poll_s=0.02)
+
+
+@pytest.fixture
+def plane(tmp_path):
+    agg = TelemetryAggregator(["a", "b"])
+    mon = HealthMonitor(["a", "b"], hb_interval_s=0.05)
+    plane = ControlPlane(str(tmp_path), ["a", "b"], 10 * US, agg, mon,
+                         cmd_queues={}, reply_q=None, reply_timeout_s=0.2)
+    plane.start()
+    yield plane
+    plane.close()
+
+
+def test_control_discovery_file_and_ping(plane, tmp_path):
+    doc = read_control_file(str(tmp_path))
+    assert doc["schema"] == CONTROL_SCHEMA
+    assert doc["components"] == ["a", "b"]
+    assert doc["until_ps"] == 10 * US
+    with ControlClient.attach(str(tmp_path)) as client:
+        assert client.ping()["ok"] is True
+
+
+def test_control_status_reply_structure(plane, tmp_path):
+    plane.aggregator.note(hb("a", sim_ps=5 * US, eps=50.0, waiting=True))
+    plane.health.observe(plane.aggregator)
+    plane.note_done("b", None)
+    plane.health.note_done("b")
+    with ControlClient.attach(str(tmp_path)) as client:
+        reply = client.status()
+    assert reply["ok"] and reply["schema"] == CONTROL_SCHEMA
+    a = reply["components"]["a"]
+    assert a["state"] == HEALTH_OK
+    assert a["sim_ps"] == 5 * US
+    assert a["progress"] == 0.5
+    assert a["waiting"] is True
+    assert reply["components"]["b"]["state"] == HEALTH_DONE
+    assert reply["done"] == ["b"] and reply["running"] == ["a"]
+    assert reply["health"]["components"]["a"] == HEALTH_OK
+    # the reply renders (pure function used by the live view)
+    text = render_status(reply)
+    assert "a" in text and "50" in text
+
+
+def test_control_unknown_command_and_bad_json(plane, tmp_path):
+    with ControlClient.attach(str(tmp_path)) as client:
+        reply = client.request("frobnicate")
+        assert reply["ok"] is False and "unknown command" in reply["error"]
+        client._sock.sendall(b"this is not json\n")
+        reply = json.loads(client._file.readline())
+        assert reply["ok"] is False
+
+
+def test_control_dump_trace_without_tracing_fails_clean(plane, tmp_path):
+    with ControlClient.attach(str(tmp_path)) as client:
+        reply = client.dump_trace()
+    assert reply["ok"] is False and "trace_dir" in reply["error"]
+
+
+def test_control_set_flow_sample_validates_n(plane, tmp_path):
+    with ControlClient.attach(str(tmp_path)) as client:
+        assert client.set_flow_sample(0)["ok"] is False
+        assert client.request("set-flow-sample")["ok"] is False
+
+
+def test_control_close_removes_discovery_and_socket(tmp_path):
+    agg = TelemetryAggregator(["a"])
+    plane = ControlPlane(str(tmp_path), ["a"], US, agg, None,
+                         cmd_queues={}, reply_q=None)
+    plane.start()
+    assert (tmp_path / CONTROL_FILE).exists()
+    plane.close()
+    assert not (tmp_path / CONTROL_FILE).exists()
+    with pytest.raises(ControlError):
+        ControlClient.attach(str(tmp_path))
+
+
+def test_parse_commands():
+    assert _parse_commands([]) == []
+    assert _parse_commands(["status", "stop"]) == [("status", {}),
+                                                   ("stop", {})]
+    assert _parse_commands(["set-flow-sample", "8"]) == [
+        ("set-flow-sample", {"n": 8})]
+    with pytest.raises(ValueError):
+        _parse_commands(["set-flow-sample"])
+    with pytest.raises(ValueError):
+        _parse_commands(["set-flow-sample", "many"])
+
+
+def test_render_status_handles_starting_components():
+    text = render_status({"until_ps": US, "elapsed_s": 0.0, "running": ["a"],
+                          "done": [], "components": {"a": {"state":
+                                                           "starting"}}})
+    assert "starting" in text
+
+
+# -- end to end against real child processes ----------------------------------
+
+@pytest.mark.slow
+def test_attach_status_dump_trace_and_graceful_stop(tmp_path):
+    """Attach to a live 4-process run: status, partial trace dump, stop.
+
+    The horizon is far beyond what the run could cover in the test
+    budget, so a clean finish proves the graceful-stop path (children
+    break at their next quiescent horizon and report results normally).
+    """
+    specs, channels = pipeline_specs(4)
+    runner = ProcessRunner(specs, channels)
+    rundir = tmp_path / "run"
+    trace_dir = rundir / "traces"
+    report_path = rundir / "run_report.json"
+    out: dict = {}
+
+    def drive():
+        out["results"] = runner.run(
+            1 * SEC, timeout_s=120, control_dir=str(rundir),
+            trace_dir=str(trace_dir), report_path=str(report_path),
+            hb_interval_s=0.05)
+
+    t = threading.Thread(target=drive)
+    t.start()
+    try:
+        wait_for_control(str(rundir), timeout_s=20.0)
+        with ControlClient.attach(str(rundir)) as client:
+            # status: all four components, progressing
+            deadline = time.monotonic() + 30
+            while True:
+                reply = client.status()
+                assert reply["ok"]
+                assert set(reply["components"]) == {"s0", "s1", "s2", "s3"}
+                if any(c.get("sim_ps", 0) > 0
+                       for c in reply["components"].values()):
+                    break
+                assert time.monotonic() < deadline, "no progress observed"
+                time.sleep(0.05)
+            # live metrics snapshot straight from the children
+            mreply = client.metrics()
+            assert mreply["ok"] and not mreply["missing"]
+            metrics = mreply["snapshot"]["metrics"]
+            assert any(k.startswith("component.s0.") for k in metrics)
+            # partial trace dump of the run so far, without stopping
+            dreply = client.dump_trace()
+            assert dreply["ok"] and not dreply["errors"]
+            doc = load_trace(dreply["path"])
+            assert validate_chrome_doc(doc) == []
+            assert doc["traceEvents"]
+            # graceful stop: every running child acks
+            sreply = client.stop()
+            assert sreply["ok"] and not sreply["missing"]
+    finally:
+        t.join(timeout=120)
+    assert not t.is_alive()
+    results = out["results"]
+    assert set(results) == {"s0", "s1", "s2", "s3"}
+    assert all(r.error is None for r in results.values())
+    assert all(r.events > 0 for r in results.values())
+    # the run stopped early: nobody reached the 1s horizon
+    report = json.loads(report_path.read_text())
+    assert report["schema"] == RUN_REPORT_SCHEMA
+    assert report["health"] is not None
+    # control endpoint is gone after the run
+    assert not (rundir / CONTROL_FILE).exists()
+
+
+@pytest.mark.slow
+def test_control_commands_do_not_perturb_digest(tmp_path):
+    """Determinism pin: a control-plane run, with commands landing
+    mid-run, produces bit-identical event timelines to a control-free
+    run of the same model."""
+    specs, channels = pipeline_specs(4)
+    base = ProcessRunner(specs, channels).run(2 * MS, timeout_s=120,
+                                              digest=True)
+    base_digests = {n: r.timeline_digest for n, r in base.items()}
+
+    rundir = tmp_path / "run"
+    trace_dir = rundir / "traces"
+    issued = {"n": 0}
+    stop_poking = threading.Event()
+
+    def poke():
+        try:
+            client = ControlClient.attach(str(rundir), wait_s=20.0)
+        except ControlError:
+            return
+        with client:
+            while not stop_poking.is_set():
+                try:
+                    client.status()
+                    client.metrics()
+                    client.dump_trace()
+                    client.set_flow_sample(3)
+                    issued["n"] += 4
+                except ControlError:
+                    return
+                time.sleep(0.02)
+
+    t = threading.Thread(target=poke)
+    t.start()
+    try:
+        specs2, channels2 = pipeline_specs(4)
+        results = ProcessRunner(specs2, channels2).run(
+            2 * MS, timeout_s=120, digest=True, control_dir=str(rundir),
+            trace_dir=str(trace_dir), flow_sample=1, hb_interval_s=0.05)
+    finally:
+        stop_poking.set()
+        t.join(timeout=30)
+    assert issued["n"] >= 4, "no control commands landed during the run"
+    assert {n: r.timeline_digest for n, r in results.items()} == base_digests
+
+
+class Wedge(Component):
+    """Sleeps inside an event callback once: heartbeats stop (stale)."""
+
+    def __init__(self, name, sleep_s):
+        super().__init__(name)
+        self.sleep_s = sleep_s
+        self.wedged = False
+        self.end = self.attach_end(
+            ChannelEnd(f"{name}.e", latency=500 * NS), self.on_msg)
+
+    def on_msg(self, msg):
+        if not self.wedged:
+            self.wedged = True
+            time.sleep(self.sleep_s)
+
+
+class Chatter(Component):
+    """Streams messages at the wedge; blocks on sync when it wedges."""
+
+    def __init__(self, name):
+        super().__init__(name)
+        self.end = self.attach_end(
+            ChannelEnd(f"{name}.e", latency=500 * NS), self.on_msg)
+
+    def start(self):
+        self.call_after(0, self.fire, 0)
+
+    def fire(self, i):
+        self.end.send(RawMsg(payload=i), self.now)
+        self.call_after(100 * NS, self.fire, i + 1)
+
+    def on_msg(self, msg):
+        pass
+
+
+def make_wedge(name, sleep_s):
+    return Wedge(name, sleep_s)
+
+
+def make_chatter(name):
+    return Chatter(name)
+
+
+@pytest.mark.slow
+def test_wedged_child_detected_and_reported_in_health(tmp_path):
+    """Stalled-worker injection: a deliberately wedged child turns up in
+    the ``health`` section of ``run_report.json`` within the watchdog
+    window — the silent child as *stale*, its blocked partner as
+    *stalled* — and the run still completes once the wedge clears."""
+    from repro.parallel.procrunner import ProcChannel, ProcSpec
+    runner = ProcessRunner(
+        [ProcSpec("wedge", make_wedge, ("wedge", 1.5)),
+         ProcSpec("chatter", make_chatter, ("chatter",))],
+        [ProcChannel("wedge", "wedge.e", "chatter", "chatter.e")])
+    report_path = tmp_path / "run_report.json"
+    results = runner.run(50 * US, timeout_s=60, hb_interval_s=0.05,
+                         stall_intervals=3, stale_after_s=0.4,
+                         report_path=str(report_path))
+    assert all(r.error is None for r in results.values())
+    report = json.loads(report_path.read_text())
+    assert report["schema"] == RUN_REPORT_SCHEMA
+    health = report["health"]
+    kinds = {(a["comp"], a["kind"]) for a in health["alerts"]}
+    assert ("wedge", "stale") in kinds
+    assert ("chatter", "stalled") in kinds
+    # both finished: terminal states, not frozen alarm states
+    assert health["components"] == {"wedge": HEALTH_DONE,
+                                    "chatter": HEALTH_DONE}
