@@ -2,8 +2,9 @@
 
 Usage::
 
-    splitsim-bench kernel --out BENCH_kernel.json
+    splitsim-bench kernel --out benchmarks/perf/BENCH_kernel.json
     splitsim-bench netsim --scale 0.25            # CI smoke scale
+    splitsim-bench netsim --fluid                 # + fluid-tier workloads
     splitsim-bench all --compare baseline.json    # print speedups
 
 ``--scale`` multiplies the simulated duration (not the topology), so a
@@ -19,9 +20,11 @@ import sys
 from typing import Dict, List, Optional
 
 from ..kernel.simtime import MS, US
+from ..netsim.fidelity import FidelityConfig
 from .harness import (BenchResult, compare_docs, load_json, measure,
                       results_doc, write_json)
-from .workloads import (build_cancel_churn, build_mixed_system,
+from .workloads import (build_burst_flood, build_cancel_churn,
+                        build_fluid_longflows, build_mixed_system,
                         build_netsim_flood, build_strict_pingpong,
                         build_timer_wheel, run_system)
 
@@ -55,20 +58,70 @@ def _run_kernel(scale: float, repeat: int, trace_alloc: bool) -> List[BenchResul
 def _run_netsim(scale: float, repeat: int, trace_alloc: bool) -> List[BenchResult]:
     duration = max(1, int(3 * MS * scale))
 
-    def flood():
-        system = build_netsim_flood()
-        state: Dict[str, int] = {}
+    def packet_workload(build, fidelity=None):
+        def workload():
+            system = build()
+            state: Dict[str, int] = {}
 
-        def run():
-            stats, counters = run_system(system, duration, mode="fast")
-            state["events"] = stats.events
-            state["packets"] = counters["packets"]
+            def run():
+                stats, counters = run_system(system, duration, mode="fast",
+                                             fidelity=fidelity)
+                state["events"] = stats.events
+                state["packets"] = counters["packets"]
 
-        return run, lambda: dict(state)
+            return run, lambda: dict(state)
+        return workload
 
+    batched = FidelityConfig(batching=True)
     return [
         measure("udp_kv_flood", {"clients": 4, "duration_ps": duration},
-                flood, repeat=repeat, trace_alloc=trace_alloc),
+                packet_workload(build_netsim_flood),
+                repeat=repeat, trace_alloc=trace_alloc),
+        measure("udp_kv_flood_batched",
+                {"clients": 4, "duration_ps": duration, "batching": True},
+                packet_workload(build_netsim_flood, batched),
+                repeat=repeat, trace_alloc=trace_alloc),
+        measure("udp_burst_flood", {"senders": 4, "duration_ps": duration},
+                packet_workload(build_burst_flood),
+                repeat=repeat, trace_alloc=trace_alloc),
+        measure("udp_burst_flood_batched",
+                {"senders": 4, "duration_ps": duration, "batching": True},
+                packet_workload(build_burst_flood, batched),
+                repeat=repeat, trace_alloc=trace_alloc),
+    ]
+
+
+def _run_fluid(scale: float, repeat: int, trace_alloc: bool) -> List[BenchResult]:
+    """Flow-level tier: the fig6 long-flow workload, packet vs fluid.
+
+    The same dumbbell of long-lived DCTCP transfers run at both tiers; the
+    events-per-second ratio between the two is the fluid tier's headline
+    number (the ≥10x acceptance criterion), and the per-sink goodput in
+    ``extra`` lets the comparison double as a fidelity spot check.
+    """
+    duration = max(1, int(20 * MS * scale))
+
+    def longflows(fidelity=None):
+        def workload():
+            system = build_fluid_longflows()
+            state: Dict[str, float] = {}
+
+            def run():
+                stats, counters = run_system(system, duration, mode="fast",
+                                             fidelity=fidelity)
+                state["events"] = stats.events
+                state.update(counters)
+
+            return run, lambda: dict(state)
+        return workload
+
+    return [
+        measure("dctcp_longflows_packet", {"pairs": 2, "duration_ps": duration},
+                longflows(), repeat=repeat, trace_alloc=trace_alloc),
+        measure("dctcp_longflows_fluid",
+                {"pairs": 2, "duration_ps": duration, "fluid": True},
+                longflows(FidelityConfig(fluid=True)),
+                repeat=repeat, trace_alloc=trace_alloc),
     ]
 
 
@@ -222,6 +275,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="which benchmark family to run")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="duration multiplier (0.1 = quick smoke run)")
+    parser.add_argument("--fluid", action="store_true",
+                        help="with the netsim family, also run the fig6 "
+                             "long-flow workload packet-level vs fluid "
+                             "(dctcp_longflows_packet/_fluid)")
     parser.add_argument("--repeat", type=int, default=3,
                         help="timing repetitions (best-of is reported)")
     parser.add_argument("--no-alloc", action="store_true",
@@ -250,6 +307,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     for name in names:
         results.extend(RUNNERS[name](args.scale, args.repeat,
                                      not args.no_alloc))
+    if args.fluid:
+        if "netsim" not in names:
+            print("error: --fluid extends the netsim family "
+                  "(splitsim-bench netsim --fluid)", file=sys.stderr)
+            return 2
+        results.extend(_run_fluid(args.scale, args.repeat, not args.no_alloc))
     doc = results_doc(args.bench, results)
     for r in results:
         line = (f"{r.name}: {r.events_per_sec:,.0f} ev/s "

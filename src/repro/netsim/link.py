@@ -10,14 +10,32 @@ partition — to another partition or to a detailed NIC simulator — via a
 SplitSim channel.  They model serialization locally and leave propagation to
 the channel latency, so a partitioned topology has exactly the same timing
 as the unpartitioned one.
+
+**Batched fast path** (:meth:`LinkDirection.enable_batching`): the
+per-packet path costs three kernel events per switch-bound crossing
+(serialization done, delivery, switch process).  The batched path instead
+computes each packet's serialization slot *at enqueue time* — the line
+keeps a busy horizon that every accepted packet extends — and schedules
+only the delivery event, fused with the switch lookup when the receiver is
+a plain store-and-forward switch (the way FireSim's switch turns a run of
+back-to-back flits into single units of work).  Idleness is detected by
+comparing ``now`` against the busy horizon, so there is no per-packet or
+per-run completion event at all.  Packets stay accounted in the egress
+queue until their serialization start has passed
+(:meth:`LinkDirection._settle`), so concurrent enqueues observe the same
+instantaneous occupancy — ECN marks and capacity drops are preserved
+bit-for-bit against the per-packet path.  Off by default; enabled per
+direction via :class:`~repro.netsim.fidelity.FidelityConfig`.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Callable, Optional, TYPE_CHECKING
 
 from ..kernel.simtime import SEC
 from ..obs.flows import _ACTIVE as _FLOWS
+from ..parallel.costmodel import BATCH_PKT_CYCLES
 from .packet import Packet
 from .queues import DropTailQueue
 
@@ -76,9 +94,58 @@ class LinkDirection:
         self.obs: Optional[tuple] = None
         self._busy_since = 0
         self._busy_pkts = 0
+        #: Batched fast path (off by default; see module docstring).
+        self.batched = False
+        #: Pending ``(ser_start_ps, pkt)`` entries: packets already assigned
+        #: a serialization slot (delivery scheduled) but still accounted in
+        #: the egress queue until their serialization start passes.
+        self._run: deque = deque()
+        #: picosecond at which the line goes idle (end of the last assigned
+        #: packet's serialization); the batched path's busy test.
+        self._run_end = 0
+        #: ``(switch, rx_port, proc_delay_ps)`` when the receive side is a
+        #: plain store-and-forward switch whose rx+process events can be
+        #: fused into the delivery event; ``None`` otherwise.
+        self._fused: Optional[tuple] = None
+        #: receiving :class:`~.node.NetHost` with zero rx processing delay —
+        #: its stack entry can be invoked straight from the delivery event
+        self._rx_host = None
+        self._rx_port = None
+        #: precomputed delivery offsets from serialization end
+        self._lat = latency_ps
+        self._lat_fused = latency_ps
+        self._period_pkts = 0
+        #: busy periods / packets assigned / longest busy period, in packets
+        self.batch_runs = 0
+        self.batch_pkts = 0
+        self.batch_max_run = 0
+
+    def enable_batching(self, rx_port: Optional[Port] = None) -> None:
+        """Switch this direction onto the batched drain fast path.
+
+        When the receiving node is a non-pipelined :class:`~.switch.Switch`
+        with a positive processing delay, the rx + process events are fused
+        into the delivery event as well (one event per packet end to end).
+        """
+        from .node import NetHost  # runtime import: node.py imports link
+        from .switch import Switch  # runtime import: switch.py imports link
+
+        self.batched = True
+        self._rx_port = rx_port
+        node = rx_port.node if rx_port is not None else None
+        self._fused = None
+        self._rx_host = None
+        if (isinstance(node, Switch) and node.pipeline is None
+                and node.proc_delay_ps > 0):
+            self._fused = (node, rx_port, node.proc_delay_ps)
+            self._lat_fused = self.latency_ps + node.proc_delay_ps
+        elif isinstance(node, NetHost) and node.rx_proc_delay_ps == 0:
+            self._rx_host = node
 
     def transmit(self, pkt: Packet) -> None:
         """Entry point: queue the packet and start the line if idle."""
+        if self._run:
+            self._settle(self.net.now)
         if not self.queue.enqueue(pkt):
             obs = self.obs
             if obs is not None:
@@ -95,6 +162,9 @@ class LinkDirection:
         if rec is not None and pkt.flow:
             rec.hop(pkt.flow, "enq", self.net.name, self.net.now,
                     at=self.label)
+        if self.batched and self.on_tx_start is None:
+            self._assign(pkt, rec)
+            return
         if not self.busy:
             obs = self.obs
             if obs is not None:
@@ -159,6 +229,138 @@ class LinkDirection:
         else:
             self.deliver(pkt)
         self._tx_next()
+
+    # ------------------------------------------------------------------
+    # batched fast path
+    # ------------------------------------------------------------------
+
+    def _settle(self, now: int) -> None:
+        """Dequeue assigned entries whose serialization has started by ``now``.
+
+        Keeps the egress queue's instantaneous occupancy identical to the
+        per-packet path, where the head is dequeued the moment it starts
+        serializing.  Also detects the idle transition (busy horizon
+        passed), closing the busy period for observability/cost accounting
+        and resuming the per-packet chain for any packets that were
+        enqueued outside the batched path (e.g. after a PTP transparent
+        clock installed its tx-start hook on this direction).
+        """
+        run = self._run
+        queue = self.queue
+        while run and run[0][0] <= now:
+            run.popleft()
+            queue.dequeue()
+        if not run and self.busy and now >= self._run_end:
+            self._close_period()
+            if len(queue):
+                # unassigned packets (per-packet path took over mid-period)
+                self._tx_next()
+
+    def _close_period(self) -> None:
+        """Flush one finished busy period (cost model + counters + obs).
+
+        Per-period batch counters are folded in here rather than per packet,
+        so the assignment hot path stays minimal;
+        :meth:`NetworkSim.batch_stats` accounts for the open period.
+        """
+        self.busy = False
+        pkts = self._period_pkts
+        self.batch_pkts += pkts
+        if pkts > self.batch_max_run:
+            self.batch_max_run = pkts
+        self.net.add_work(BATCH_PKT_CYCLES * pkts)
+        obs = self.obs
+        if obs is not None:
+            tracer, tid = obs
+            queue = self.queue
+            start_us = self._busy_since / 1_000_000
+            tracer.span(tid, "netsim", f"busy|{self.label}", start_us,
+                        self._run_end / 1_000_000 - start_us,
+                        {"pkts": self._period_pkts})
+            if not self.batch_runs & 63:
+                tracer.counter(tid, "netsim", f"batch|{self.label}",
+                               self.net.now / 1_000_000,
+                               {"runs": self.batch_runs,
+                                "packets": self.batch_pkts,
+                                "depth_pkts": len(queue),
+                                "dropped": queue.stats.dropped,
+                                "ecn_marked": queue.stats.ecn_marked})
+
+    def _assign(self, pkt: Packet, rec=None) -> None:
+        """Give an accepted packet its serialization slot and delivery event.
+
+        The slot starts at the busy horizon (or now, when idle) — exactly
+        where the per-packet ``_tx_next`` chain would have started it — and
+        the only kernel event the packet costs on this hop is its delivery,
+        scheduled here at the exact per-packet timestamp.
+        """
+        net = self.net
+        now = net.now
+        start = self._run_end
+        if start > now:
+            # line busy into the future: the packet waits in the queue
+            self._run.append((start, pkt))
+        elif self.busy and start == now:
+            # exact back-to-back arrival: the line never went idle, so the
+            # busy period continues and serialization starts immediately
+            # (the per-packet path dequeues the head inline at tx start)
+            self.queue.dequeue()
+        else:
+            if self.busy:
+                # previous period ended between its last delivery and now
+                self._close_period()
+            # idle line: serialization starts immediately
+            start = now
+            self.queue.dequeue()
+            self.busy = True
+            self._busy_since = now
+            self.batch_runs += 1
+            self._period_pkts = 0
+        end = start + -(-pkt.size_bits * SEC // self._bw_int)
+        self._run_end = end
+        self.tx_packets += 1
+        self.tx_bytes += pkt.size_bytes
+        self._period_pkts += 1
+        pkt.hops += 1
+        if rec is not None and pkt.flow:
+            rec.hop(pkt.flow, "deq", net.name, start, at=self.label)
+            rec.hop(pkt.flow, "txdone", net.name, end, at=self.label)
+        if self._fused is not None:
+            net._schedule_at(net, end + self._lat_fused,
+                             self._deliver_fused, pkt, end + self._lat)
+        elif self._rx_host is not None:
+            net._schedule_at(net, end + self._lat, self._deliver_host, pkt)
+        else:
+            net._schedule_at(net, end + self._lat, self._deliver_one, pkt)
+
+    def _deliver_one(self, pkt: Packet) -> None:
+        """Delivery event for a batched packet (non-fused receive side)."""
+        self._settle(self.net.now)
+        self.deliver(pkt)
+
+    def _deliver_host(self, pkt: Packet) -> None:
+        """Delivery event fused with a zero-rx-delay protocol host's stack.
+
+        Skips the generic ``deliver`` closure and ``NetHost.receive``
+        dispatch; ``_handle_packet`` is read at fire time so per-delivery
+        instrumentation (e.g. the packet-digest tap) still intercepts.
+        """
+        self._settle(self.net.now)
+        self._rx_host._handle_packet(pkt)
+
+    def _deliver_fused(self, pkt: Packet, arrival_ts: int) -> None:
+        """Fused rx + switch-process event for a batched packet.
+
+        Replaces the unbatched chain of a delivery event into
+        ``Switch.receive`` plus a ``_process`` event ``proc_delay_ps``
+        later: this single event fires at the process time and performs
+        both, with ``arrival_ts`` carrying the true wire arrival.
+        """
+        self._settle(self.net.now)
+        switch = self._fused[0]
+        switch.rx_packets += 1
+        pkt.arrival_ts = arrival_ts
+        switch.forward(pkt)
 
 
 class Link:

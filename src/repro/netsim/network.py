@@ -79,6 +79,9 @@ class NetworkSim(Component):
         self.links: List[Link] = []
         self.externals: Dict[str, ExternalAttachment] = {}
         self.hosts_by_addr: Dict[int, NetHost] = {}
+        #: :class:`~repro.netsim.fluid.FluidDomain` once the fluid fidelity
+        #: tier is installed on this partition (``None`` = pure packet).
+        self.fluid = None
 
     # -- topology assembly ----------------------------------------------------
 
@@ -159,6 +162,49 @@ class NetworkSim(Component):
                 for app in node.apps:
                     app.start()
 
+    # -- fidelity ---------------------------------------------------------------
+
+    def _all_directions(self):
+        """Yield every ``(LinkDirection, rx_port_or_None)`` in this partition."""
+        for link in self.links:
+            yield link.dir_ab, link.port_b
+            yield link.dir_ba, link.port_a
+        for att in self.externals.values():
+            yield att.ext.direction, None
+
+    def enable_batching(self, link_filter: Optional[Callable[[str], bool]] = None) -> int:
+        """Switch link directions onto the batched drain fast path.
+
+        ``link_filter`` selects directions by label (``"a->b"``); ``None``
+        batches everything.  Returns the number of directions batched.
+        """
+        n = 0
+        for direction, rx_port in self._all_directions():
+            if link_filter is not None and not link_filter(direction.label):
+                continue
+            direction.enable_batching(rx_port)
+            n += 1
+        return n
+
+    def batch_stats(self) -> dict:
+        """Aggregate batched-path counters across all link directions.
+
+        Per-period counters are folded in when a busy period closes, so the
+        still-open period (if any) is added from its live packet count.
+        """
+        runs = pkts = max_run = 0
+        for direction, _ in self._all_directions():
+            runs += direction.batch_runs
+            pkts += direction.batch_pkts
+            peak = direction.batch_max_run
+            if direction.batched and direction.busy:
+                pkts += direction._period_pkts
+                peak = max(peak, direction._period_pkts)
+            if peak > max_run:
+                max_run = peak
+        return {"runs": runs, "packets": pkts, "max_run": max_run,
+                "pkts_per_run": pkts / runs if runs else 0.0}
+
     # -- statistics ---------------------------------------------------------------
 
     def collect_outputs(self) -> dict:
@@ -179,7 +225,4 @@ class NetworkSim(Component):
 
     def total_tx_packets(self) -> int:
         """Packets transmitted across all links and external attachments."""
-        total = sum(link.dir_ab.tx_packets + link.dir_ba.tx_packets
-                    for link in self.links)
-        total += sum(att.ext.direction.tx_packets for att in self.externals.values())
-        return total
+        return sum(d.tx_packets for d, _ in self._all_directions())

@@ -63,20 +63,24 @@ class DropTailQueue:
 
     def enqueue(self, pkt: Packet) -> bool:
         """Add a packet; returns ``False`` (and counts a drop) when full."""
-        if self._bytes + pkt.size_bytes > self.capacity_bytes:
-            self.stats.dropped += 1
+        stats = self.stats
+        nbytes = self._bytes + pkt.size_bytes
+        if nbytes > self.capacity_bytes:
+            stats.dropped += 1
             return False
+        q = self._q
         if (self.ecn_threshold_pkts is not None and pkt.ect
-                and len(self._q) >= self.ecn_threshold_pkts):
+                and len(q) >= self.ecn_threshold_pkts):
             pkt.ce = True
-            self.stats.ecn_marked += 1
-        self._q.append(pkt)
-        self._bytes += pkt.size_bytes
-        self.stats.enqueued += 1
-        if len(self._q) > self.stats.max_depth_pkts:
-            self.stats.max_depth_pkts = len(self._q)
-        if self._bytes > self.stats.max_depth_bytes:
-            self.stats.max_depth_bytes = self._bytes
+            stats.ecn_marked += 1
+        q.append(pkt)
+        self._bytes = nbytes
+        stats.enqueued += 1
+        depth = len(q)
+        if depth > stats.max_depth_pkts:
+            stats.max_depth_pkts = depth
+        if nbytes > stats.max_depth_bytes:
+            stats.max_depth_bytes = nbytes
         return True
 
     def dequeue(self) -> Optional[Packet]:
@@ -91,6 +95,15 @@ class DropTailQueue:
     def peek(self) -> Optional[Packet]:
         """The head packet without removing it."""
         return self._q[0] if self._q else None
+
+    def iter_queued(self):
+        """Iterate the queued packets head-first without removing them.
+
+        Used by the batched link drain to compute the full serialization
+        schedule of a busy run in one pass.  The caller must not enqueue
+        or dequeue while iterating.
+        """
+        return iter(self._q)
 
 
 class RedQueue(DropTailQueue):

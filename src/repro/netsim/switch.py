@@ -50,6 +50,10 @@ class Switch(Node):
         #: ECMP destinations are never cached (the per-packet flow hash must
         #: run).  Invalidated by :meth:`add_route` / :meth:`invalidate_routes`.
         self._route_cache: Dict[int, Port] = {}
+        #: single-entry ``(dst, port)`` memo for the batched fast path —
+        #: back-to-back runs overwhelmingly share a destination, so the
+        #: common case is one tuple compare instead of a dict probe.
+        self._fwd_memo: Optional[tuple] = None
         self.rx_packets = 0
         self.tx_packets = 0
         self.no_route_drops = 0
@@ -62,10 +66,17 @@ class Switch(Node):
         if port not in self.fib[dst_addr]:
             self.fib[dst_addr].append(port)
         self._route_cache.pop(dst_addr, None)
+        self._fwd_memo = None
 
     def invalidate_routes(self) -> None:
-        """Drop the cached route decisions (topology changed)."""
+        """Drop all cached route decisions (topology changed).
+
+        Flushes both the per-destination cache and the batched fast path's
+        last-forward memo, so a mid-run route change can never forward a
+        stale-batched run of packets out the old port.
+        """
         self._route_cache.clear()
+        self._fwd_memo = None
 
     # -- datapath --------------------------------------------------------------
 
@@ -95,17 +106,31 @@ class Switch(Node):
 
     def forward(self, pkt: Packet) -> None:
         """Send a packet out the FIB-selected port for its destination."""
-        port = self._route_cache.get(pkt.dst)
+        dst = pkt.dst
+        memo = self._fwd_memo
+        if memo is not None and memo[0] == dst:
+            self.tx_packets += 1
+            memo[1].transmit(pkt)
+            return
+        port = self._route_cache.get(dst)
         if port is None:
-            ports = self.fib.get(pkt.dst)
+            ports = self.fib.get(dst)
             if not ports:
                 self.no_route_drops += 1
                 return
             if len(ports) == 1:
                 port = ports[0]
-                self._route_cache[pkt.dst] = port
+                self._route_cache[dst] = port
             else:
+                # ECMP: the per-packet flow hash must run; never memoized
                 port = ports[hash(pkt.flow_key()) % len(ports)]
+                self.tx_packets += 1
+                port.send(pkt)
+                return
+        if port.egress is not None:
+            # memoize the egress direction itself: repeat forwards to the
+            # same destination skip both the dict probe and the Port hop
+            self._fwd_memo = (dst, port.egress)
         self.tx_packets += 1
         port.send(pkt)
 

@@ -110,6 +110,9 @@ class Stack:
         self._ephemeral = count(EPHEMERAL_BASE)
         self.rx_packets = 0
         self.rx_no_handler = 0
+        #: :class:`~repro.netsim.fluid.FluidDomain` when the fluid fidelity
+        #: tier is installed on this host's partition (``None`` otherwise).
+        self.fluid_ctl = None
 
     # -- UDP -----------------------------------------------------------------
 

@@ -93,6 +93,13 @@ class TcpConnection:
         self.fin_sent = False
         self.closed_cb: Optional[Callable[[], None]] = None
 
+        #: Fluid fidelity tier (see :mod:`repro.netsim.fluid`): while
+        #: ``fluid_mode`` is set this endpoint emits no data segments —
+        #: the flow advances analytically and the tick keeps
+        #: ``snd_una == snd_nxt`` (sender) / ``rcv_nxt`` (receiver) moving.
+        self.fluid_mode = False
+        self.fluid_flow = None
+
     # ---------------------------------------------------------------- utils
 
     @property
@@ -147,7 +154,7 @@ class TcpConnection:
         return self.snd_nxt - self.snd_una
 
     def _try_send(self) -> None:
-        if self.state != "established":
+        if self.state != "established" or self.fluid_mode:
             return
         while (self.snd_nxt < self.app_limit
                and self._flight() + MSS <= self.cwnd):
@@ -285,6 +292,9 @@ class TcpConnection:
             else:
                 self._arm_rto()
             self._try_send()
+            ctl = self.stack.fluid_ctl
+            if ctl is not None and not self.fluid_mode:
+                ctl.consider(self)
         elif ack == self.snd_una and self._flight() > 0:
             self.dup_acks += 1
             if self.dup_acks == 3 and not self.in_recovery:

@@ -42,7 +42,7 @@ import argparse
 import json
 import sys
 import time
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import os
 
@@ -208,6 +208,34 @@ def edge_wait_histograms(doc: dict) -> Dict[str, Histogram]:
             if delta > 0:
                 hist.observe(delta)
     return out
+
+
+def fidelity_summary(events: List[dict]) -> Dict[str, Any]:
+    """Aggregate fidelity-tier activity recorded in a trace.
+
+    Batched link drains leave ``busy|<label>`` spans carrying a ``pkts``
+    argument (one span per busy period); the fluid tier samples a
+    ``fluid|<net>`` counter track from its rate-update loop.  Returns
+    ``{"batch": {...}, "fluid": {net: last_sample}}`` with empty members
+    when the corresponding tier never ran.
+    """
+    batch = {"runs": 0, "packets": 0, "max_run": 0}
+    fluid: Dict[str, dict] = {}
+    for ev in events:
+        name = ev.get("name", "")
+        ph = ev.get("ph")
+        if ph == "X" and name.startswith("busy|"):
+            pkts = (ev.get("args") or {}).get("pkts")
+            if pkts is None:
+                continue
+            batch["runs"] += 1
+            batch["packets"] += pkts
+            if pkts > batch["max_run"]:
+                batch["max_run"] = pkts
+        elif ph == "C" and name.startswith("fluid|"):
+            # samples are cumulative; keep the latest per network
+            fluid[name.split("|", 1)[1]] = ev.get("args") or {}
+    return {"batch": batch if batch["runs"] else {}, "fluid": fluid}
 
 
 # -- flow rendering -----------------------------------------------------------
@@ -531,6 +559,20 @@ def _main(argv: Optional[List[str]] = None) -> int:
     print("\nstall timeline:")
     print(stall_timeline(events, buckets=args.buckets))
 
+    fid = fidelity_summary(events)
+    if fid["batch"] or fid["fluid"]:
+        print("\nfidelity tiers:")
+        b = fid["batch"]
+        if b:
+            ppr = b["packets"] / b["runs"]
+            print(f"  batched drain: {b['runs']} runs, {b['packets']} pkts "
+                  f"({ppr:.1f} pkts/run, longest {b['max_run']})")
+        for net_name, sample in sorted(fid["fluid"].items()):
+            print(f"  fluid {net_name}: {sample.get('flows', 0)} active, "
+                  f"{sample.get('promoted', 0)} promoted / "
+                  f"{sample.get('demoted', 0)} demoted, "
+                  f"{sample.get('bytes_modeled', 0):,} bytes modeled")
+
     hists = edge_wait_histograms(doc)
     print("\nper-edge wait histogram (cycle increments per sample):")
     if hists:
@@ -542,7 +584,8 @@ def _main(argv: Optional[List[str]] = None) -> int:
         print("  (no channel tracks recorded)")
 
     analysis = analysis_from_trace(doc)
-    summary: dict = {"top_spans": spans, "edges": {}, "bottlenecks": []}
+    summary: dict = {"top_spans": spans, "edges": {}, "bottlenecks": [],
+                     "fidelity": fid}
     if analysis.components:
         graph = build_wtpg(analysis)
         print()

@@ -57,6 +57,8 @@ def install_network_tracer(net, tracer: Tracer) -> None:
     for att in net.externals.values():
         direction = att.ext.direction
         direction.obs = (tracer, tracer.tid(f"link:{direction.label}"))
+    if net.fluid is not None:
+        net.fluid.obs = (tracer, tracer.tid(f"fluid:{net.name}"))
 
 
 def install_component_tracer(comp, tracer: Tracer) -> None:

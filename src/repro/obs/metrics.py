@@ -206,6 +206,19 @@ def collect_simulation(sim, stats=None,
 def _collect_network(reg: MetricsRegistry, net) -> None:
     base = f"netsim.{net.name}"
     reg.counter(f"{base}.tx_packets").value = float(net.total_tx_packets())
+    bstats = net.batch_stats()
+    if bstats["runs"]:
+        reg.counter(f"{base}.batch.runs").value = float(bstats["runs"])
+        reg.counter(f"{base}.batch.packets").value = float(bstats["packets"])
+        reg.gauge(f"{base}.batch.max_run").set(float(bstats["max_run"]))
+        reg.gauge(f"{base}.batch.pkts_per_run").set(bstats["pkts_per_run"])
+    if net.fluid is not None:
+        fstats = net.fluid.stats()
+        fbase = f"{base}.fluid"
+        for key in ("promoted", "demoted", "rejected", "updates",
+                    "bytes_modeled"):
+            reg.counter(f"{fbase}.{key}").value = float(fstats[key])
+        reg.gauge(f"{fbase}.active").set(float(fstats["active"]))
     for link in net.links:
         for direction, a, b in ((link.dir_ab, link.port_a, link.port_b),
                                 (link.dir_ba, link.port_b, link.port_a)):

@@ -22,6 +22,7 @@ from ..hostsim.driver import DirectEthDriver, I40eDriver
 from ..hostsim.host import HostSim, gem5_host, qemu_host
 from ..kernel.rng import derive_seed
 from ..kernel.simtime import NS, US
+from ..netsim.fidelity import FidelityConfig
 from ..netsim.network import NetworkSim
 from ..netsim.partition import (PartitionedBuild, assign_all,
                                 assign_hosts_with_switch,
@@ -274,6 +275,10 @@ class Instantiation:
     #: Causal flow tracing: keep 1-in-N flows (1 = every flow, ``None`` =
     #: off).  Implies ``trace``.  See ``repro.obs.flows``.
     flow_sample: Optional[int] = None
+    #: Network fidelity tiers (batched packet drain, fluid flow-level
+    #: model); ``None`` = pure packet-level, exactly as before.  See
+    #: :class:`~repro.netsim.fidelity.FidelityConfig`.
+    fidelity: Optional["FidelityConfig"] = None
 
     def build(self) -> Experiment:
         """Assemble all component simulators and channels per the choices."""
@@ -312,6 +317,14 @@ class Instantiation:
                 sim.connect(end_a, end_b)
             model_channels.extend(nb.model_channels)
             attachments = nb.attachments
+
+        # -- fidelity tiers -------------------------------------------------
+        if self.fidelity is not None:
+            if isinstance(nb, PartitionedBuild):
+                for comp in nb.all_components():
+                    self.fidelity.apply(comp)
+            else:
+                self.fidelity.apply(nb.net)
 
         # -- protocol-level apps -------------------------------------------
         for name, choice in system.hosts.items():

@@ -78,6 +78,18 @@ GEM5_CYCLES_PER_INST = 600.0
 #: gem5 fixed cost per simulated event (port packets, cache transactions).
 GEM5_EVENT_CYCLES = 4_000.0
 
+#: Batched link drain: marginal cost per packet inside a run (schedule math
+#: + delivery event; dispatch and route lookup amortize across the run, so
+#: this is well under a full NS3 event).
+BATCH_PKT_CYCLES = 600.0
+
+#: One fluid-tier rate-update tick: fixed cost of walking the fluid link set
+#: and rescheduling.
+FLUID_UPDATE_CYCLES = 1_500.0
+
+#: Marginal per-flow cost within a fluid tick (rate/window/queue updates).
+FLUID_FLOW_CYCLES = 350.0
+
 
 # --- communication / synchronization costs (host cycles) -------------------
 

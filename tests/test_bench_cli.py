@@ -28,10 +28,29 @@ def test_kernel_bench_json_schema(tmp_path):
 
 def test_netsim_bench_counts_packets(tmp_path):
     doc = run_bench(tmp_path, "netsim")
-    (flood,) = doc["results"]
-    assert flood["name"] == "udp_kv_flood"
-    assert flood["extra"]["packets"] > 0
-    assert flood["extra"]["packets_per_sec"] > 0
+    names = [r["name"] for r in doc["results"]]
+    assert names == ["udp_kv_flood", "udp_kv_flood_batched",
+                     "udp_burst_flood", "udp_burst_flood_batched"]
+    for r in doc["results"]:
+        assert r["extra"]["packets"] > 0
+        assert r["extra"]["packets_per_sec"] > 0
+
+
+def test_netsim_bench_fluid_flag(tmp_path):
+    doc = run_bench(tmp_path, "netsim", args=("--fluid",))
+    by_name = {r["name"]: r for r in doc["results"]}
+    assert "dctcp_longflows_packet" in by_name
+    assert "dctcp_longflows_fluid" in by_name
+    fluid = by_name["dctcp_longflows_fluid"]
+    assert fluid["extra"]["fluid_promoted"] > 0
+    # the tier needs fewer events even at the 0.02 smoke scale, where the
+    # packet-level promote ramp dominates (the 10x criterion is pinned at
+    # full scale in tests/test_fluid.py)
+    assert by_name["dctcp_longflows_packet"]["events"] > 2 * fluid["events"]
+
+
+def test_fluid_flag_requires_netsim():
+    assert main(["kernel", "--fluid"]) == 2
 
 
 def test_compare_embeds_baseline_and_speedups(tmp_path, capsys):
