@@ -59,3 +59,25 @@ def test_flow_tagging_unsampled_overhead_within_bound():
     assert worst >= 1.0 - MAX_REGRESSION, (
         f"unsampled flow tracing costs more than {MAX_REGRESSION:.0%} on "
         f"top of plain tracing: ratio {worst:.3f}")
+
+
+def test_timeline_overhead_within_bound():
+    """The epoch timeline costs at most 5% on a strict untraced run.
+
+    ``strict_mixed_timeline`` samples counters only at round boundaries
+    (every ``interval_rounds`` syncs), so the per-event path is untouched.
+    Compared against ``strict_mixed_untraced`` from the same call so the
+    ratio is robust to absolute machine speed.
+    """
+    worst = 0.0
+    for _ in range(ATTEMPTS):  # best-of to shrug off scheduler noise
+        results = {r.name: r.events_per_sec
+                   for r in _run_obs(scale=1.0, repeat=3, trace_alloc=False)}
+        ratio = (results["strict_mixed_timeline"]
+                 / results["strict_mixed_untraced"])
+        worst = max(worst, ratio)
+        if worst >= 1.0 - MAX_REGRESSION:
+            break
+    assert worst >= 1.0 - MAX_REGRESSION, (
+        f"the epoch timeline costs more than {MAX_REGRESSION:.0%} on top "
+        f"of an untraced strict run: ratio {worst:.3f}")

@@ -1,0 +1,32 @@
+#!/usr/bin/env python3
+"""Fig. 9-style partitioned datacenter workload for ``splitsim-run``.
+
+A 2-aggregation / 2-racks-per-agg / 2-hosts-per-rack datacenter with one
+KV server and three closed-loop clients placed across racks — the
+workload family the paper's Fig. 9 sweeps partition strategies over.
+The measure→place loop end to end:
+
+    splitsim-run examples/config_fig9.py --partition rs --timeline
+    splitsim-inspect timeline timeline.jsonl
+    splitsim-inspect recommend timeline.jsonl
+    splitsim-run examples/config_fig9.py --partition-file partition.json
+"""
+
+from repro import System
+from repro.netsim.apps.kv import KVClientApp, KVServerApp
+from repro.netsim.topology import datacenter
+
+DURATION = "2ms"
+SERVER = "a0r0h0"
+CLIENTS = ("a1r1h0", "a1r1h1", "a0r1h0")
+
+
+def build() -> System:
+    spec = datacenter(aggs=2, racks_per_agg=2, hosts_per_rack=2)
+    system = System.from_topospec(spec, seed=7)
+    system.app(SERVER, lambda h: KVServerApp())
+    addr = system.addr_of(SERVER)
+    for client in CLIENTS:
+        system.app(client, lambda h: KVClientApp([addr],
+                                                 closed_loop_window=4))
+    return system

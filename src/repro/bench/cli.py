@@ -169,16 +169,19 @@ def _run_obs(scale: float, repeat: int, trace_alloc: bool) -> List[BenchResult]:
     ``flows_unsampled`` installs the recorder with a divisor so large no
     flow is kept — isolating the pure tagging/sampling-test cost that
     ``benchmarks/perf/test_obs_overhead.py`` bounds — while
-    ``flows_sampled`` records every flow.
+    ``flows_sampled`` records every flow.  The ``timeline`` variant runs
+    untraced but with the epoch-resolved metrics timeline attached
+    (counter reads at round boundaries only), the cost the same perf
+    guard bounds at 5%.
     """
     duration = max(1, int(1 * MS * scale))
 
-    def variant(traced: bool, flow_sample=None):
+    def variant(traced: bool, flow_sample=None, timeline: bool = False):
         def workload():
             from ..obs.flows import uninstall_flow_recorder
             from ..orchestration.instantiate import Instantiation
             exp = Instantiation(build_mixed_system(), mode="strict",
-                                trace=traced,
+                                trace=traced, timeline=timeline,
                                 flow_sample=flow_sample).build()
             state: Dict[str, int] = {}
 
@@ -193,6 +196,8 @@ def _run_obs(scale: float, repeat: int, trace_alloc: bool) -> List[BenchResult]:
                 if exp.tracer is not None:
                     state["trace_records"] = len(exp.tracer)
                     state["trace_dropped"] = exp.tracer.dropped
+                if exp.timeline is not None:
+                    state["timeline_rows"] = len(exp.timeline.rows)
 
             return run, lambda: dict(state)
         return workload
@@ -207,6 +212,9 @@ def _run_obs(scale: float, repeat: int, trace_alloc: bool) -> List[BenchResult]:
                 repeat=repeat, trace_alloc=trace_alloc),
         measure("strict_mixed_flows_sampled", {"duration_ps": duration},
                 variant(True, flow_sample=1),
+                repeat=repeat, trace_alloc=trace_alloc),
+        measure("strict_mixed_timeline", {"duration_ps": duration},
+                variant(False, timeline=True),
                 repeat=repeat, trace_alloc=trace_alloc),
     ]
 

@@ -25,6 +25,14 @@ measures against.  It has four pieces:
   provenance (flow/hop ids carried in the wire header), per-hop latency
   records, and the post-processor that reconstructs flow trees, latency
   attribution, and the critical-path bottleneck.
+* :mod:`repro.obs.timeline` — the epoch-resolved metrics timeline:
+  per-sync-epoch compute/wait/comm cycles, per-edge message and sync
+  counts, and selected registry counters, recorded at round boundaries
+  (in-process strict) or piggybacked on heartbeats (multiprocess) into a
+  columnar ``timeline.jsonl``.  Input to the partition advisor
+  (:mod:`repro.parallel.advisor`).
+* :mod:`repro.obs.names` — the single source of metric-name literals
+  shared by emitters, collectors, and the inspect CLI.
 
 The ``splitsim-inspect`` CLI (:mod:`repro.obs.inspect_cli`) consumes the
 exported traces: top spans, stall timeline, per-edge wait histograms, and a
@@ -51,6 +59,11 @@ from .live import (CONTROL_FILE, CONTROL_SCHEMA, ChildMailbox, ControlClient,
                    wait_for_control)
 from .install import (install_component_tracer, install_network_tracer,
                       install_tracer, wire_tracer)
+from .timeline import (EpochRow, EpochTracker, MpTimelineCollector,
+                       TIMELINE_FILE, TIMELINE_SCHEMA, Timeline,
+                       TimelineRecorder, detect_phases, load_timeline,
+                       resolve_timeline_path, save_timeline)
+from . import names
 
 __all__ = [
     "Tracer", "PhaseClock", "chrome_doc", "load_trace", "merge_trace_jsonl",
@@ -70,4 +83,8 @@ __all__ = [
     "ControlPlane", "ControlClient", "ChildMailbox", "ControlError",
     "CONTROL_SCHEMA", "CONTROL_FILE", "read_control_file",
     "wait_for_control",
+    "Timeline", "TimelineRecorder", "EpochRow", "EpochTracker",
+    "MpTimelineCollector", "TIMELINE_SCHEMA", "TIMELINE_FILE",
+    "save_timeline", "load_timeline", "resolve_timeline_path",
+    "detect_phases", "names",
 ]

@@ -10,11 +10,20 @@ multiprocess runner's ``trace_dir``)::
     splitsim-inspect attach rundir                 # live status view
     splitsim-inspect attach rundir --json          # one-shot status JSON
     splitsim-inspect attach rundir dump-trace stop # scripted commands
+    splitsim-inspect timeline rundir               # per-epoch view
+    splitsim-inspect recommend rundir              # partition advisor
 
 The ``flows`` subcommand post-processes causal flow-hop records
 (``splitsim-run --flows N`` / ``SPLITSIM_FLOW_SAMPLE``) into per-flow
 latency waterfalls, an aggregate attribution histogram, and the
 flow-derived bottleneck (see :mod:`repro.obs.flows`).
+
+The ``timeline`` subcommand renders the epoch-resolved metrics timeline
+(``splitsim-run --timeline`` / ``Experiment.enable_timeline``): per-epoch
+work activity with warmup/steady/drain phase detection and a
+stall/backpressure overlay.  ``recommend`` runs the partition advisor
+(:mod:`repro.parallel.advisor`) over the same file and writes
+``partition.json`` next to it.
 
 The ``attach`` subcommand connects to a *running* multiprocess
 simulation's control plane (``splitsim-run --control DIR`` /
@@ -321,6 +330,206 @@ def _flows_main(argv: List[str]) -> int:
     return 0
 
 
+# -- epoch timeline & partition advisor --------------------------------------
+
+def _load_timeline(path: str):
+    """Resolve and load a timeline; print the failure and return None."""
+    from .timeline import load_timeline, resolve_timeline_path
+    resolved = resolve_timeline_path(path)
+    try:
+        return load_timeline(resolved)
+    except OSError as exc:
+        if os.path.isdir(path):
+            print(f"error: {path} has no timeline.jsonl — rerun with the "
+                  "timeline on (splitsim-run --timeline, "
+                  "Instantiation(timeline=True), or "
+                  "run_mp(timeline_path=...))", file=sys.stderr)
+        else:
+            print(f"error reading {resolved}: {exc}", file=sys.stderr)
+        return None
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None
+
+
+def _sparkline(values: List[float], width: int = 48,
+               marks: Optional[Dict[int, str]] = None) -> str:
+    """Bucket a series into a fixed-width ``.:*#`` intensity bar.
+
+    ``marks`` overlays single characters at specific bucket indices
+    (stall/backpressure flags win over intensity glyphs).
+    """
+    if not values:
+        return " " * width
+    glyphs = " .:*#"
+    n = len(values)
+    width = min(width, n) or 1
+    buckets: List[float] = []
+    for i in range(width):
+        lo = i * n // width
+        hi = max(lo + 1, (i + 1) * n // width)
+        buckets.append(max(values[lo:hi]))
+    peak = max(buckets)
+    bar = [
+        glyphs[min(len(glyphs) - 1,
+                   int(v / peak * (len(glyphs) - 1) + 0.999)) if peak > 0
+               else 0]
+        for v in buckets
+    ]
+    for idx, mark in (marks or {}).items():
+        b = min(width - 1, idx * width // n)
+        bar[b] = mark
+    return "".join(bar)
+
+
+def render_timeline(tl, width: int = 48) -> str:
+    """Text rendering of a loaded :class:`~repro.obs.timeline.Timeline`."""
+    from .timeline import BACKPRESSURE_FILL, STALL_FRACTION
+    lines: List[str] = []
+    header = tl.header
+    lines.append(f"timeline: mode={tl.mode} until={fmt_time(tl.until_ps)} "
+                 f"components={len(tl.components)} rows={len(tl.rows)}"
+                 + (f" dropped={header.get('dropped')}"
+                    if header.get("dropped") else ""))
+    phases = tl.phases()
+    by_comp = tl.by_component()
+    name_w = max((len(c) for c in tl.components), default=0)
+    lines.append(f"  {'':<{name_w}}  work activity per epoch "
+                 f"('!'=stalled >{STALL_FRACTION:.0%} wait, "
+                 f"'^'=ring >= {BACKPRESSURE_FILL:.0%})")
+    for comp in tl.components:
+        rows = by_comp.get(comp, [])
+        if not rows:
+            lines.append(f"  {comp:<{name_w}}  (no rows)")
+            continue
+        marks: Dict[int, str] = {}
+        for i, row in enumerate(rows):
+            if row.ring_fill is not None and \
+                    row.ring_fill >= BACKPRESSURE_FILL:
+                marks[i] = "^"
+            elif row.wait_fraction > STALL_FRACTION:
+                marks[i] = "!"
+        bar = _sparkline([r.work_cycles for r in rows], width, marks)
+        ph = phases[comp]
+        steady = tl.steady_rows(comp)
+        n = max(1, len(steady))
+        ev_s = sum(r.events_per_sec for r in steady) / n
+        wait = sum(r.wait_fraction for r in steady) / n
+        lines.append(
+            f"  {comp:<{name_w}} |{bar}| "
+            f"w{ph['warmup']}/s{ph['steady']}/d{ph['drain']} "
+            f"{ev_s:>10,.0f} ev/s {wait:>5.1%} wait")
+    return "\n".join(lines)
+
+
+def _timeline_to_dict(tl) -> dict:
+    """Machine-readable timeline summary (per-component steady rates)."""
+    out = {"mode": tl.mode, "until_ps": tl.until_ps,
+           "rows": len(tl.rows), "dropped": tl.header.get("dropped", 0),
+           "phases": tl.phases(), "components": {}}
+    for comp in tl.components:
+        steady = tl.steady_rows(comp)
+        n = max(1, len(steady))
+        out["components"][comp] = {
+            "epochs": len(tl.by_component().get(comp, [])),
+            "steady_events_per_sec":
+                sum(r.events_per_sec for r in steady) / n,
+            "steady_work_cycles": sum(r.work_cycles for r in steady) / n,
+            "steady_wait_fraction":
+                sum(r.wait_fraction for r in steady) / n,
+        }
+    return out
+
+
+def _timeline_main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="splitsim-inspect timeline",
+        description="Per-epoch view of a recorded metrics timeline: work "
+                    "activity, phase detection, stall/backpressure "
+                    "overlay.")
+    parser.add_argument("timeline",
+                        help="timeline.jsonl file or run directory")
+    parser.add_argument("--width", type=int, default=48,
+                        help="activity bar width in buckets (default 48)")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the machine-readable summary as JSON")
+    args = parser.parse_args(argv)
+    tl = _load_timeline(args.timeline)
+    if tl is None:
+        return 1
+    print(render_timeline(tl, width=args.width))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(_timeline_to_dict(tl), fh, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def render_plan(plan) -> str:
+    """Human table for a :class:`~repro.parallel.advisor.PartitionPlan`."""
+    lines: List[str] = []
+    lines.append(f"recommended partition: {plan.n_procs} processes, "
+                 f"predicted {plan.speedup:.2f}x over naive single-process "
+                 f"({plan.naive_cycles:,.0f} -> "
+                 f"{plan.predicted_cycles:,.0f} cycles/epoch)")
+    groups: Dict[str, List[str]] = {}
+    for comp, group in plan.assignment.items():
+        groups.setdefault(group, []).append(comp)
+    width = max((len(g) for g in groups), default=0)
+    for group in sorted(groups):
+        load = plan.per_process.get(group, 0.0)
+        lines.append(f"  {group:<{width}}  {load:>14,.0f} cycles/epoch  "
+                     f"{', '.join(sorted(groups[group]))}")
+    lines.append(f"  bottleneck: {plan.bottleneck} "
+                 f"(ranking: {', '.join(plan.ranking)})")
+    if plan.switch_assignment:
+        lines.append("  apply with: splitsim-run ... --partition-file "
+                     "partition.json")
+    return "\n".join(lines)
+
+
+def _recommend_main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="splitsim-inspect recommend",
+        description="Fit the cost model from a recorded timeline and "
+                    "recommend a component->process partition "
+                    "(partition.json).")
+    parser.add_argument("timeline",
+                        help="timeline.jsonl file or run directory")
+    parser.add_argument("--out", metavar="PATH",
+                        help="partition.json destination (default: next to "
+                             "the timeline)")
+    parser.add_argument("--discipline", default="splitsim",
+                        help="communication discipline for the cost model "
+                             "(default splitsim)")
+    parser.add_argument("--json", action="store_true",
+                        help="print the plan as JSON instead of the table")
+    args = parser.parse_args(argv)
+    tl = _load_timeline(args.timeline)
+    if tl is None:
+        return 1
+    from ..parallel.advisor import (PARTITION_FILE, recommend_partition,
+                                    write_partition)
+    try:
+        plan = recommend_partition(tl, discipline=args.discipline)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    out = args.out
+    if out is None:
+        from .timeline import resolve_timeline_path
+        out = os.path.join(
+            os.path.dirname(resolve_timeline_path(args.timeline)) or ".",
+            PARTITION_FILE)
+    doc = write_partition(out, plan)
+    if args.json:
+        print(json.dumps(doc, indent=2))
+    else:
+        print(render_plan(plan))
+    print(f"wrote {out}")
+    return 0
+
+
 # -- live attach --------------------------------------------------------------
 
 def render_status(reply: dict) -> str:
@@ -509,7 +718,9 @@ def build_parser() -> argparse.ArgumentParser:
         description="Summarize a SplitSim trace: top spans, stall timeline, "
                     "per-edge wait histograms, and the trace-derived WTPG. "
                     "Use the 'flows' subcommand for causal flow analysis, "
-                    "'attach' to inspect a running simulation live.")
+                    "'attach' to inspect a running simulation live, "
+                    "'timeline' for the epoch-resolved metrics view, "
+                    "'recommend' for the partition advisor.")
     parser.add_argument("trace", help="Chrome-trace JSON file or run dir")
     parser.add_argument("--top", type=int, default=10,
                         help="span groups to list (default 10)")
@@ -536,6 +747,10 @@ def _main(argv: Optional[List[str]] = None) -> int:
         return _flows_main(argv[1:])
     if argv and argv[0] == "attach":
         return _attach_main(argv[1:])
+    if argv and argv[0] == "timeline":
+        return _timeline_main(argv[1:])
+    if argv and argv[0] == "recommend":
+        return _recommend_main(argv[1:])
     args = build_parser().parse_args(argv)
     doc = _load_doc(args.trace)
     if doc is None:

@@ -552,9 +552,11 @@ class ControlClient:
         else:
             try:
                 doc = read_control_file(rundir)
-            except OSError as exc:
+            except (OSError, ValueError) as exc:
+                # ValueError covers a corrupt control.json
+                # (json.JSONDecodeError subclasses it)
                 raise ControlError(
-                    f"no {CONTROL_FILE} in {rundir}: {exc}") from exc
+                    f"no usable {CONTROL_FILE} in {rundir}: {exc}") from exc
         return cls(doc["socket"], timeout_s=timeout_s)
 
     def request(self, cmd: str, **kwargs) -> dict:

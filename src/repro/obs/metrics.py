@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional
 
+from . import names
+
 #: Schema version of the snapshot document.
 METRICS_SCHEMA = 1
 
@@ -89,12 +91,16 @@ class Histogram:
         return self.sum / self.count if self.count else 0.0
 
     def quantile(self, q: float) -> float:
-        """Approximate quantile: upper bound of the bucket holding rank q."""
+        """Approximate quantile: upper bound of the bucket holding rank q.
+
+        ``q=0`` maps to rank 1 (the first occupied bucket, i.e. the
+        minimum observation's bound), not to the histogram's lowest bound.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError("quantile must be in [0, 1]")
         if self.count == 0:
             return 0.0
-        rank = q * self.count
+        rank = max(1.0, q * self.count)
         seen = 0
         for i, c in enumerate(self.counts[:-1]):
             seen += c
@@ -176,57 +182,63 @@ def collect_simulation(sim, stats=None,
 
     # kernel: aggregate queue health over all (possibly shared) queues
     queues = {id(c.queue): c.queue for c in sim.components}
-    for key in ("peak_heap", "allocations", "pool_reuse",
-                "cancelled_total", "executed"):
+    for key in names.KERNEL_QUEUE_KEYS:
         total = sum(q.stats()[key] for q in queues.values())
-        reg.counter(f"kernel.queue.{key}").value = float(total)
+        reg.counter(names.kernel_queue(key)).value = float(total)
 
     for comp in sim.components:
-        base = f"component.{comp.name}"
-        reg.counter(f"{base}.events").value = float(comp.events_processed)
-        reg.counter(f"{base}.work_cycles").value = float(comp.work_cycles)
-        reg.gauge(f"{base}.sim_ps").set(float(comp.now))
+        reg.counter(names.component(comp.name, "events")).value = \
+            float(comp.events_processed)
+        reg.counter(names.component(comp.name, "work_cycles")).value = \
+            float(comp.work_cycles)
+        reg.gauge(names.component(comp.name,
+                                  names.COMPONENT_SIM_PS)).set(float(comp.now))
         for end in comp.ends:
-            ebase = f"channel.{comp.name}.{end.name}"
             for k, v in end.counters().items():
-                reg.counter(f"{ebase}.{k}").value = float(v)
+                reg.counter(names.channel(comp.name, end.name,
+                                          k)).value = float(v)
         # network partitions expose link/queue statistics
         links = getattr(comp, "links", None)
         if links is not None:
             _collect_network(reg, comp)
 
     if stats is not None:
-        reg.gauge("run.events_per_sec").set(stats.events_per_second)
-        reg.counter("run.events").value = float(stats.events)
-        reg.gauge("run.wall_seconds").set(stats.wall_seconds)
-        reg.gauge("run.sim_ps").set(float(stats.sim_time_ps))
+        reg.gauge(names.run("events_per_sec")).set(stats.events_per_second)
+        reg.counter(names.run("events")).value = float(stats.events)
+        reg.gauge(names.run("wall_seconds")).set(stats.wall_seconds)
+        reg.gauge(names.run("sim_ps")).set(float(stats.sim_time_ps))
     return reg
 
 
 def _collect_network(reg: MetricsRegistry, net) -> None:
-    base = f"netsim.{net.name}"
-    reg.counter(f"{base}.tx_packets").value = float(net.total_tx_packets())
+    name = net.name
+    reg.counter(names.netsim(name, "tx_packets")).value = \
+        float(net.total_tx_packets())
     bstats = net.batch_stats()
     if bstats["runs"]:
-        reg.counter(f"{base}.batch.runs").value = float(bstats["runs"])
-        reg.counter(f"{base}.batch.packets").value = float(bstats["packets"])
-        reg.gauge(f"{base}.batch.max_run").set(float(bstats["max_run"]))
-        reg.gauge(f"{base}.batch.pkts_per_run").set(bstats["pkts_per_run"])
+        for key in names.BATCH_COUNTER_KEYS:
+            reg.counter(names.netsim_batch(name, key)).value = \
+                float(bstats[key])
+        for key in names.BATCH_GAUGE_KEYS:
+            reg.gauge(names.netsim_batch(name, key)).set(float(bstats[key]))
     if net.fluid is not None:
         fstats = net.fluid.stats()
-        fbase = f"{base}.fluid"
-        for key in ("promoted", "demoted", "rejected", "updates",
-                    "bytes_modeled"):
-            reg.counter(f"{fbase}.{key}").value = float(fstats[key])
-        reg.gauge(f"{fbase}.active").set(float(fstats["active"]))
+        for key in names.FLUID_COUNTER_KEYS:
+            reg.counter(names.netsim_fluid(name, key)).value = \
+                float(fstats[key])
+        for key in names.FLUID_GAUGE_KEYS:
+            reg.gauge(names.netsim_fluid(name, key)).set(float(fstats[key]))
     for link in net.links:
         for direction, a, b in ((link.dir_ab, link.port_a, link.port_b),
                                 (link.dir_ba, link.port_b, link.port_a)):
             label = f"{a.node.name}->{b.node.name}"
-            _collect_direction(reg, f"{base}.link.{label}", direction)
+            _collect_direction(reg, names.netsim(name, f"link.{label}"),
+                               direction)
     for label, att in net.externals.items():
-        _collect_direction(reg, f"{base}.ext.{label}", att.ext.direction)
-        reg.counter(f"{base}.ext.{label}.rx_packets").value = float(att.rx_packets)
+        _collect_direction(reg, names.netsim(name, f"ext.{label}"),
+                           att.ext.direction)
+        reg.counter(names.netsim_ext(name, label, "rx_packets")).value = \
+            float(att.rx_packets)
 
 
 def _collect_direction(reg: MetricsRegistry, base: str, direction) -> None:
@@ -242,15 +254,14 @@ def _collect_direction(reg: MetricsRegistry, base: str, direction) -> None:
 def _fill_transport(reg: MetricsRegistry, base: str,
                     transport: dict) -> None:
     """Shared shm-transport counter mapping (``transport.<comp>.*``)."""
-    for key in ("frames_out", "batches_out", "bytes_out",
-                "frames_in", "batches_in", "bytes_in"):
+    for key in names.TRANSPORT_COUNTER_KEYS:
         if key in transport:
             reg.counter(f"{base}.{key}").value = float(transport[key])
-    if "frames_per_batch" in transport:
-        reg.gauge(f"{base}.frames_per_batch").set(
-            float(transport["frames_per_batch"]))
+    if names.TRANSPORT_FRAMES_PER_BATCH in transport:
+        reg.gauge(f"{base}.{names.TRANSPORT_FRAMES_PER_BATCH}").set(
+            float(transport[names.TRANSPORT_FRAMES_PER_BATCH]))
     wire = transport.get("wire") or {}
-    for key in ("msg_pickle_fallbacks", "payload_pickles"):
+    for key in names.WIRE_FALLBACK_KEYS:
         if key in wire:
             reg.counter(f"{base}.{key}").value = float(wire[key])
 
@@ -269,10 +280,10 @@ def collect_mp_transport(results,
     reg = registry if registry is not None else MetricsRegistry()
     for name, res in sorted(results.items()):
         transport = getattr(res, "transport", None) or {}
-        base = f"transport.{name}"
+        base = f"{names.TRANSPORT_PREFIX}.{name}"
         _fill_transport(reg, base, transport)
         if res.wall_seconds > 0 and "bytes_out" in transport:
-            reg.gauge(f"{base}.bytes_per_sec").set(
+            reg.gauge(names.transport(name, "bytes_per_sec")).set(
                 transport["bytes_out"] / res.wall_seconds)
     return reg
 
@@ -291,18 +302,20 @@ def collect_live_children(payloads: Dict[str, dict],
     """
     reg = registry if registry is not None else MetricsRegistry()
     for name, p in sorted(payloads.items()):
-        base = f"component.{name}"
-        reg.counter(f"{base}.events").value = float(p.get("events", 0))
-        reg.counter(f"{base}.work_cycles").value = float(
-            p.get("work_cycles", 0))
-        reg.gauge(f"{base}.sim_ps").set(float(p.get("commit_ps", 0)))
+        reg.counter(names.component(name, "events")).value = \
+            float(p.get("events", 0))
+        reg.counter(names.component(name, "work_cycles")).value = \
+            float(p.get("work_cycles", 0))
+        reg.gauge(names.component(name, names.COMPONENT_SIM_PS)).set(
+            float(p.get("commit_ps", 0)))
         for end_name, counters in sorted((p.get("ends") or {}).items()):
-            ebase = f"channel.{name}.{end_name}"
             for k, v in counters.items():
-                reg.counter(f"{ebase}.{k}").value = float(v)
+                reg.counter(names.channel(name, end_name,
+                                          k)).value = float(v)
         transport = p.get("transport")
         if transport:
-            _fill_transport(reg, f"transport.{name}", transport)
+            _fill_transport(reg, f"{names.TRANSPORT_PREFIX}.{name}",
+                            transport)
     return reg
 
 
@@ -311,13 +324,14 @@ def collect_experiment(exp, stats=None) -> MetricsRegistry:
     reg = collect_simulation(exp.sim, stats=stats)
     for name in exp.system.hosts:
         for i, app in enumerate(exp.apps_of(name)):
-            base = f"app.{name}.app{i}"
             app_stats = getattr(app, "stats", None)
             if app_stats is not None and hasattr(app_stats, "completed"):
-                reg.counter(f"{base}.completed").value = float(app_stats.completed)
-                reg.gauge(f"{base}.mean_latency_ps").set(
+                reg.counter(names.app(name, i, "completed")).value = \
+                    float(app_stats.completed)
+                reg.gauge(names.app(name, i, "mean_latency_ps")).set(
                     float(app_stats.mean_latency()))
             delivered = getattr(app, "delivered", None)
             if delivered is not None:
-                reg.counter(f"{base}.delivered_bytes").value = float(delivered)
+                reg.counter(names.app(name, i, "delivered_bytes")).value = \
+                    float(delivered)
     return reg

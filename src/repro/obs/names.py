@@ -1,0 +1,115 @@
+"""Canonical metric names: the single source of the registry namespace.
+
+Every metric emitted into a :class:`~repro.obs.metrics.MetricsRegistry`
+follows ``subsystem.component.metric``.  The string literals used to be
+scattered over the emitters (``collect_simulation``/``collect_*``), the
+epoch timeline, and ``splitsim-inspect``; a typo in any one of them would
+silently fork the namespace.  This module centralizes the prefixes, the
+per-subsystem key tuples, and tiny name-builder helpers — emitters and
+consumers alike import from here, so names cannot drift.
+
+The concrete names are a stable interface (pinned by tests and consumed by
+``--stats-json`` users); do not rename existing keys, only add.
+"""
+
+from __future__ import annotations
+
+# -- subsystem prefixes -------------------------------------------------------
+
+KERNEL_QUEUE_PREFIX = "kernel.queue"
+COMPONENT_PREFIX = "component"
+CHANNEL_PREFIX = "channel"
+NETSIM_PREFIX = "netsim"
+TRANSPORT_PREFIX = "transport"
+RUN_PREFIX = "run"
+APP_PREFIX = "app"
+
+# -- per-subsystem key sets ---------------------------------------------------
+
+#: Event-queue health counters (summed over all queues of a run).
+KERNEL_QUEUE_KEYS = ("peak_heap", "allocations", "pool_reuse",
+                     "cancelled_total", "executed")
+
+#: Per-component progress counters (plus the ``sim_ps`` gauge).
+COMPONENT_COUNTER_KEYS = ("events", "work_cycles")
+COMPONENT_SIM_PS = "sim_ps"
+
+#: Batched-drain tier counters / gauges (``netsim.<net>.batch.*``).
+BATCH_COUNTER_KEYS = ("runs", "packets")
+BATCH_GAUGE_KEYS = ("max_run", "pkts_per_run")
+
+#: Fluid flow-level tier counters / gauges (``netsim.<net>.fluid.*``).
+FLUID_COUNTER_KEYS = ("promoted", "demoted", "rejected", "updates",
+                      "bytes_modeled")
+FLUID_GAUGE_KEYS = ("active",)
+
+#: Per-link-direction counters / gauges (``netsim.<net>.link.<label>.*``,
+#: ``netsim.<net>.ext.<label>.*``).
+LINK_COUNTER_KEYS = ("tx_packets", "tx_bytes", "drops", "ecn_marked")
+LINK_GAUGE_KEYS = ("max_depth_pkts", "max_depth_bytes")
+
+#: Shm-transport counters copied verbatim from ring stats
+#: (``transport.<comp>.*``); ``frames_per_batch`` is the derived gauge.
+TRANSPORT_COUNTER_KEYS = ("frames_out", "batches_out", "bytes_out",
+                          "frames_in", "batches_in", "bytes_in")
+TRANSPORT_FRAMES_PER_BATCH = "frames_per_batch"
+
+#: Wire-codec fallback counters nested under the transport stats.
+WIRE_FALLBACK_KEYS = ("msg_pickle_fallbacks", "payload_pickles")
+
+
+# -- name builders ------------------------------------------------------------
+
+def kernel_queue(key: str) -> str:
+    """``kernel.queue.<key>``"""
+    return f"{KERNEL_QUEUE_PREFIX}.{key}"
+
+
+def component(comp: str, key: str) -> str:
+    """``component.<comp>.<key>``"""
+    return f"{COMPONENT_PREFIX}.{comp}.{key}"
+
+
+def channel(comp: str, end: str, key: str) -> str:
+    """``channel.<comp>.<end>.<key>``"""
+    return f"{CHANNEL_PREFIX}.{comp}.{end}.{key}"
+
+
+def netsim(net: str, key: str) -> str:
+    """``netsim.<net>.<key>``"""
+    return f"{NETSIM_PREFIX}.{net}.{key}"
+
+
+def netsim_batch(net: str, key: str) -> str:
+    """``netsim.<net>.batch.<key>``"""
+    return f"{NETSIM_PREFIX}.{net}.batch.{key}"
+
+
+def netsim_fluid(net: str, key: str) -> str:
+    """``netsim.<net>.fluid.<key>``"""
+    return f"{NETSIM_PREFIX}.{net}.fluid.{key}"
+
+
+def netsim_link(net: str, label: str, key: str) -> str:
+    """``netsim.<net>.link.<label>.<key>``"""
+    return f"{NETSIM_PREFIX}.{net}.link.{label}.{key}"
+
+
+def netsim_ext(net: str, label: str, key: str) -> str:
+    """``netsim.<net>.ext.<label>.<key>``"""
+    return f"{NETSIM_PREFIX}.{net}.ext.{label}.{key}"
+
+
+def transport(comp: str, key: str) -> str:
+    """``transport.<comp>.<key>``"""
+    return f"{TRANSPORT_PREFIX}.{comp}.{key}"
+
+
+def run(key: str) -> str:
+    """``run.<key>``"""
+    return f"{RUN_PREFIX}.{key}"
+
+
+def app(host: str, index: int, key: str) -> str:
+    """``app.<host>.app<index>.<key>``"""
+    return f"{APP_PREFIX}.{host}.app{index}.{key}"

@@ -19,6 +19,10 @@ check it.  Version history:
 * ``2`` — adds ``health``: the watchdog's verdict (per-component terminal
   state, alert history, watchdog parameters), or ``null`` when the run
   collected no telemetry.  All v1 fields are unchanged.
+* ``3`` — adds ``timeline``: the relative path of the epoch-resolved
+  metrics timeline (``timeline.jsonl``, see :mod:`repro.obs.timeline`),
+  or ``null`` when the run did not record one.  All v2 fields are
+  unchanged.
 """
 
 from __future__ import annotations
@@ -32,7 +36,7 @@ from typing import Deque, Dict, List, Optional
 from ..kernel.simtime import fmt_time
 
 #: Schema version of ``run_report.json``.
-RUN_REPORT_SCHEMA = 2
+RUN_REPORT_SCHEMA = 3
 
 #: Parent-side cap on retained heartbeat history (oldest dropped first).
 MAX_HEARTBEATS = 4096
@@ -60,9 +64,17 @@ class Heartbeat:
     events_per_sec: float  # instantaneous rate since the previous beat
     ring_fill: float       # max input-ring occupancy across ends, 0..1
     waiting: bool = False  # currently blocked on a channel
+    #: piggybacked epoch-timeline delta payload (see
+    #: :class:`repro.obs.timeline.EpochTracker`); ``None`` when the run
+    #: records no timeline
+    epoch: Optional[dict] = None
 
     def to_dict(self) -> dict:
-        return asdict(self)
+        # the epoch payload lives in timeline.jsonl, not in the report's
+        # heartbeat history — history rows keep their v2 shape
+        d = asdict(self)
+        d.pop("epoch", None)
+        return d
 
 
 class TelemetryAggregator:
@@ -278,7 +290,8 @@ class HealthMonitor:
 def build_run_report(until_ps: int, wall_seconds: float, results: dict,
                      aggregator: Optional[TelemetryAggregator] = None,
                      trace: Optional[str] = None,
-                     health: Optional[dict] = None) -> dict:
+                     health: Optional[dict] = None,
+                     timeline: Optional[str] = None) -> dict:
     """Assemble the versioned ``run_report.json`` document."""
     components = {}
     for name, res in sorted(results.items()):
@@ -300,6 +313,7 @@ def build_run_report(until_ps: int, wall_seconds: float, results: dict,
         else [],
         "trace": trace,
         "health": health,
+        "timeline": timeline,
     }
 
 

@@ -78,6 +78,9 @@ class Experiment:
         #: :class:`~repro.obs.flows.FlowRecorder` (set by
         #: :meth:`enable_flow_tracing`)
         self.flow_recorder = None
+        #: :class:`~repro.obs.timeline.TimelineRecorder` (set by
+        #: :meth:`enable_timeline`)
+        self.timeline = None
 
     # -- conveniences ------------------------------------------------------------
 
@@ -183,6 +186,49 @@ class Experiment:
         from ..obs.metrics import collect_experiment
         return collect_experiment(self, stats=stats)
 
+    def enable_timeline(self, interval_rounds: int = 64,
+                        max_rows: Optional[int] = None):
+        """Attach the epoch-resolved metrics timeline to this experiment.
+
+        Samples every component's compute/wait/comm cycles, per-edge
+        message and sync counts, and selected registry counters at
+        sync-round boundaries (every ``interval_rounds`` rounds).  Strict
+        mode only — the sampler reads counters at the epochs the sync
+        protocol defines.  Call before :meth:`run`; export afterwards with
+        :meth:`save_timeline`.  Feed the file to
+        :func:`repro.parallel.advisor.recommend_partition` or
+        ``splitsim-inspect timeline``.  Returns the recorder.
+        """
+        from ..obs.timeline import TimelineRecorder
+        if self.sim.mode != "strict":
+            raise RuntimeError("the epoch timeline needs strict-sync "
+                               "execution (mode='strict', profile=True, "
+                               "or timeline=True at instantiation)")
+        if self.timeline is None:
+            kwargs = {} if max_rows is None else {"max_rows": max_rows}
+            self.timeline = TimelineRecorder(
+                self.sim.components, interval_rounds=interval_rounds,
+                meta={"net_switches": self._net_switches()}, **kwargs)
+            self.sim.timeline = self.timeline
+        return self.timeline
+
+    def _net_switches(self) -> Dict[str, List[str]]:
+        """Which topology switches each network component carries (for the
+        advisor's switch-level assignment output)."""
+        nb = self.netbuild
+        if isinstance(nb, PartitionedBuild):
+            return {net.name: [sw for sw in nb.spec.switches
+                               if nb.assignment.get(sw) == label]
+                    for label, net in nb.parts.items()}
+        return {nb.net.name: list(nb.spec.switches)}
+
+    def save_timeline(self, path: str) -> dict:
+        """Write the recorded epoch timeline; returns its header."""
+        if self.timeline is None:
+            raise RuntimeError("enable_timeline() before running "
+                               "to collect a timeline")
+        return self.timeline.save(path)
+
     def run(self, duration_ps: int) -> ExperimentResult:
         """Run the assembled simulation to ``duration_ps``."""
         if self.phases is not None:
@@ -209,7 +255,8 @@ class Experiment:
                digest: bool = False,
                control_dir: Optional[str] = None,
                stall_intervals: int = 4,
-               stale_after_s: Optional[float] = None):
+               stale_after_s: Optional[float] = None,
+               timeline_path: Optional[str] = None):
         """Run this experiment with one OS process per component simulator.
 
         This is the paper's actual deployment (shared-memory channels,
@@ -221,6 +268,8 @@ class Experiment:
         merged into ``trace_dir/trace.json``.  ``control_dir`` serves the
         live control plane (``splitsim-inspect attach``) from that run
         directory; ``stall_intervals``/``stale_after_s`` tune its watchdog.
+        ``timeline_path`` writes the epoch-resolved metrics timeline there
+        (children piggyback epoch deltas on heartbeats).
         """
         specs = [ProcSpec(c.name, component=c) for c in self.sim.components]
         channels = [
@@ -234,7 +283,8 @@ class Experiment:
                           flow_sample=flow_sample, digest=digest,
                           control_dir=control_dir,
                           stall_intervals=stall_intervals,
-                          stale_after_s=stale_after_s)
+                          stale_after_s=stale_after_s,
+                          timeline_path=timeline_path)
 
     def execution_model(self, sim_time_ps: int) -> ParallelExecutionModel:
         """Virtual-time model over this experiment's recorded workload."""
@@ -279,6 +329,15 @@ class Instantiation:
     #: model); ``None`` = pure packet-level, exactly as before.  See
     #: :class:`~repro.netsim.fidelity.FidelityConfig`.
     fidelity: Optional["FidelityConfig"] = None
+    #: Record the epoch-resolved metrics timeline (forces strict-sync
+    #: execution, like ``profile``).  Export with
+    #: ``experiment.save_timeline(path)`` after the run.
+    timeline: bool = False
+    timeline_interval_rounds: int = 64
+    #: Apply a saved advisor recommendation (``partition.json`` from
+    #: ``splitsim-inspect recommend``) as the network partition.
+    #: Mutually exclusive with ``network_partition``.
+    partition_file: Optional[str] = None
 
     def build(self) -> Experiment:
         """Assemble all component simulators and channels per the choices."""
@@ -294,18 +353,26 @@ class Instantiation:
             build_start_us = phase_tracer.wall_us()
         system = self.system
         spec = system.spec
-        mode = "strict" if self.profile else self.mode
+        mode = "strict" if self.profile or self.timeline else self.mode
         sim = Simulation(mode=mode, work_window_ps=self.work_window_ps)
         model_channels: List[ModelChannel] = []
 
+        network_partition = self.network_partition
+        if self.partition_file is not None:
+            if network_partition is not None:
+                raise ValueError("partition_file and network_partition are "
+                                 "mutually exclusive")
+            from .strategies import partition_from_file
+            network_partition = partition_from_file(self.partition_file)
+
         # -- network ------------------------------------------------------
-        if self.network_partition is None:
+        if network_partition is None:
             nb = build_single(spec, name="net", flavor=self.network_flavor,
                               seed=system.seed)
             sim.add(nb.net)
             attachments = nb.attachments
         else:
-            part = self.network_partition
+            part = network_partition
             switch_part = part(spec) if callable(part) else part
             assignment = assign_hosts_with_switch(spec, switch_part)
             nb = instantiate_partitioned(
@@ -399,6 +466,8 @@ class Instantiation:
                                         interval=self.profile_interval_rounds)
             sim.round_hook = sampler.tick
             exp.sampler = sampler
+        if self.timeline:
+            exp.enable_timeline(self.timeline_interval_rounds)
         if self.transparent_clocks:
             exp.install_transparent_clocks()
         return exp

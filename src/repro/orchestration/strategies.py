@@ -109,6 +109,26 @@ STRATEGIES: Dict[str, Callable[[TopoSpec], Dict[str, str]]] = {
 }
 
 
+def partition_from_file(path: str) -> Dict[str, str]:
+    """Switch-level assignment from a saved advisor ``partition.json``.
+
+    The advisor (:mod:`repro.parallel.advisor`) records a
+    ``switch_assignment`` alongside its component-level plan whenever the
+    source timeline carried the switch index; this loads it in the shape
+    ``Instantiation.network_partition`` expects.  Raises
+    :class:`ValueError` when the document is malformed or carries no
+    switch-level view (e.g. the plan merged network processes with hosts
+    only, or the timeline lacked topology metadata).
+    """
+    from ..parallel.advisor import load_partition
+    doc = load_partition(path)
+    switch_assignment = doc.get("switch_assignment")
+    if not isinstance(switch_assignment, dict) or not switch_assignment:
+        raise ValueError(f"{path}: partition document has no "
+                         "switch_assignment to apply")
+    return dict(switch_assignment)
+
+
 # -- fidelity presets ---------------------------------------------------------
 
 def backbone_links(spec: TopoSpec) -> Callable[[str], bool]:

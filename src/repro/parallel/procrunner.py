@@ -153,6 +153,10 @@ class _HeartbeatPump:
         self._next = t_start + interval_s
         self._last_events = 0
         self._last_t = t_start
+        #: epoch-timeline tracker (:class:`repro.obs.timeline.EpochTracker`)
+        #: whose delta payload piggybacks on every heartbeat; ``None`` when
+        #: the run records no timeline.
+        self.epoch_tracker = None
 
     def maybe(self, commit: int, waiting: bool) -> None:
         now = time.perf_counter()
@@ -167,11 +171,14 @@ class _HeartbeatPump:
         fill = max((r.fill_fraction() for r in self._in_rings), default=0.0)
         if self._q is not None:
             from ..obs.telemetry import Heartbeat
+            epoch = None
+            if self.epoch_tracker is not None:
+                epoch = self.epoch_tracker.delta(commit)
             try:
                 self._q.put_nowait(Heartbeat(
                     comp=self._name, wall_s=now - self._t_start,
                     sim_ps=commit, events=events, events_per_sec=eps,
-                    ring_fill=fill, waiting=waiting))
+                    ring_fill=fill, waiting=waiting, epoch=epoch))
             except Exception:  # pragma: no cover - queue full/closed
                 pass
         tracer = self._tracer
@@ -181,6 +188,12 @@ class _HeartbeatPump:
                            ts, {"sim_ps": commit, "events": events})
             tracer.counter(tracer.tid("telemetry"), "telemetry", "ring_fill",
                            ts, {"in_fill": fill})
+
+    def flush(self, commit: int) -> None:
+        """Force one final beat at run end: short runs still contribute at
+        least one epoch row, and totals cover exactly the run."""
+        self._next = 0.0
+        self.maybe(commit, waiting=False)
 
 
 def _sample_counters(tracer, comp: Component) -> None:
@@ -207,7 +220,8 @@ def _child_main(spec: ProcSpec,
                 hb_interval_s: float = 0.25, index: int = 0,
                 digest: bool = False,
                 flow_sample: Optional[int] = None,
-                cmd_q=None, reply_q=None) -> None:
+                cmd_q=None, reply_q=None,
+                epoch_timeline: bool = False) -> None:
     result = ProcResult(name=spec.name)
     rings: List[ShmRing] = []
     tracer = None
@@ -249,6 +263,9 @@ def _child_main(spec: ProcSpec,
         if telemetry_q is not None or tracer is not None:
             pump = _HeartbeatPump(spec.name, telemetry_q, tracer, comp,
                                   in_rings, t_start, hb_interval_s)
+            if epoch_timeline and telemetry_q is not None:
+                from ..obs.timeline import EpochTracker
+                pump.epoch_tracker = EpochTracker(comp)
         mailbox = None
         if cmd_q is not None:
             # Control-plane command mailbox, polled at sync-round
@@ -324,6 +341,8 @@ def _child_main(spec: ProcSpec,
                 if stopping:
                     break
             last_commit = commit
+        if pump is not None and pump.epoch_tracker is not None:
+            pump.flush(commit)
         result.events = comp.events_processed
         result.wall_seconds = time.perf_counter() - t_start
         result.wait_seconds = wait_ns / 1e9
@@ -372,7 +391,8 @@ class ProcessRunner:
             flow_sample: Optional[int] = None,
             control_dir: Optional[str] = None,
             stall_intervals: int = 4,
-            stale_after_s: Optional[float] = None) -> Dict[str, ProcResult]:
+            stale_after_s: Optional[float] = None,
+            timeline_path: Optional[str] = None) -> Dict[str, ProcResult]:
         """Run all components to ``until_ps``; returns per-component results.
 
         Parameters
@@ -407,6 +427,13 @@ class ProcessRunner:
         stale_after_s:
             Age after which a silent component is flagged stale; default
             ``max(2.0, 8 * hb_interval_s)``.
+        timeline_path:
+            Write the epoch-resolved metrics timeline here
+            (``timeline.jsonl``): children piggyback per-epoch counter
+            deltas on their heartbeats (plus one forced final beat), the
+            parent assembles and persists them.  Referenced from the run
+            report's ``timeline`` field when ``report_path`` is given.
+            Pure counter reads — the determinism digest is unchanged.
         """
         ctx = mp.get_context("fork")
         rings: List[ShmRing] = []
@@ -416,18 +443,23 @@ class ProcessRunner:
         }
         names = [s.name for s in self.specs]
         want_telemetry = (progress or report_path is not None
-                          or control_dir is not None)
+                          or control_dir is not None
+                          or timeline_path is not None)
         aggregator = None
         monitor = None
         telemetry_q = None
         parent_tracer = None
         control = None
+        collector = None
         if want_telemetry:
             from ..obs.telemetry import TelemetryAggregator, HealthMonitor
             aggregator = TelemetryAggregator(names)
             monitor = HealthMonitor(names, hb_interval_s=hb_interval_s,
                                     stall_intervals=stall_intervals,
                                     stale_after_s=stale_after_s)
+        if timeline_path is not None:
+            from ..obs.timeline import MpTimelineCollector
+            collector = MpTimelineCollector(names, until_ps)
         if trace_dir is not None:
             os.makedirs(trace_dir, exist_ok=True)
             from ..obs.trace import Tracer
@@ -462,7 +494,8 @@ class ProcessRunner:
                     args=(spec, wiring[spec.name], until_ps, result_q,
                           timeout_s, telemetry_q, trace_dir, hb_interval_s,
                           index, digest, flow_sample,
-                          cmd_queues.get(spec.name), reply_q),
+                          cmd_queues.get(spec.name), reply_q,
+                          timeline_path is not None),
                     name=f"splitsim-{spec.name}",
                 )
                 for index, spec in enumerate(self.specs)
@@ -498,7 +531,7 @@ class ProcessRunner:
                     timed_out = True
                     break
                 self._drain_telemetry(telemetry_q, aggregator, monitor,
-                                      progress)
+                                      progress, collector)
                 try:
                     res: ProcResult = result_q.get(
                         timeout=hb_interval_s if want_telemetry else 0.5)
@@ -509,7 +542,8 @@ class ProcessRunner:
                     monitor.note_done(res.name, res.error)
                 if control is not None:
                     control.note_done(res.name, res.error)
-            self._drain_telemetry(telemetry_q, aggregator, monitor, progress)
+            self._drain_telemetry(telemetry_q, aggregator, monitor, progress,
+                                  collector)
             if progress:
                 sys.stderr.write("\n")
                 sys.stderr.flush()
@@ -524,13 +558,29 @@ class ProcessRunner:
                                    "run", launch_us,
                                    parent_tracer.wall_us() - launch_us)
                 trace_path = self._merge_traces(trace_dir, parent_tracer)
+            timeline_rel = None
+            if collector is not None:
+                # children are joined: their queue feeders have flushed, so
+                # one more drain picks up the forced final beats
+                self._drain_telemetry(telemetry_q, aggregator, monitor,
+                                      False, collector)
+                collector.save(timeline_path)
+                timeline_rel = timeline_path
+                if report_path is not None:
+                    try:
+                        timeline_rel = os.path.relpath(
+                            timeline_path,
+                            os.path.dirname(report_path) or ".")
+                    except ValueError:  # pragma: no cover - cross-drive
+                        pass
             if report_path is not None:
                 from ..obs.telemetry import (build_run_report,
                                              write_run_report)
                 write_run_report(report_path, build_run_report(
                     until_ps, wall_total, results, aggregator,
                     trace=trace_path,
-                    health=monitor.report() if monitor else None))
+                    health=monitor.report() if monitor else None,
+                    timeline=timeline_rel))
             if timed_out:
                 missing = sorted(set(names) - set(results))
                 raise TimeoutError(
@@ -553,7 +603,7 @@ class ProcessRunner:
                     ring.unlink()
 
     def _drain_telemetry(self, telemetry_q, aggregator, monitor,
-                         progress: bool) -> None:
+                         progress: bool, collector=None) -> None:
         """Consume pending heartbeats; watchdog pass; refresh status line."""
         if telemetry_q is None:
             return
@@ -564,6 +614,8 @@ class ProcessRunner:
             except Empty:
                 break
             aggregator.note(hb)
+            if collector is not None:
+                collector.note(hb)
             noted = True
         if monitor is not None:
             monitor.observe(aggregator)

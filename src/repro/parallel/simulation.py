@@ -131,6 +131,10 @@ class Simulation:
         self.obs = None
         #: strict-mode counter-track sampling period, in coordinator rounds
         self.obs_interval = 64
+        #: epoch-timeline recorder (``None`` = disabled); attach via
+        #: :meth:`Experiment.enable_timeline`.  Strict mode only: the
+        #: sampler reads counters at sync-round boundaries.
+        self.timeline = None
         self._wired = False
 
     # -- assembly ----------------------------------------------------------
@@ -255,6 +259,9 @@ class Simulation:
             from ..obs.install import sample_strict_round
             # t=0 baseline sample: trace-derived diffs then cover the run
             sample_strict_round(self, obs, 0, until_ps)
+        timeline = self.timeline
+        if timeline is not None:
+            timeline.start(until_ps)
         while True:
             progressed = False
             done = True
@@ -274,6 +281,9 @@ class Simulation:
                 self.round_hook()
             if obs is not None and (done or not rounds % self.obs_interval):
                 sample_strict_round(self, obs, rounds, until_ps)
+            if timeline is not None and (done or not rounds
+                                         % timeline.interval_rounds):
+                timeline.sample()
             if done:
                 return rounds
             if not progressed:

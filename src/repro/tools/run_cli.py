@@ -84,6 +84,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--progress", action="store_true",
                         help="live one-line status from child heartbeats "
                              "(multiprocess runs only)")
+    parser.add_argument("--timeline", metavar="PATH", nargs="?",
+                        const=True, default=None,
+                        help="record the epoch-resolved metrics timeline "
+                             "(implies strict mode in-process); PATH "
+                             "defaults to timeline.jsonl (or "
+                             "DIR/timeline.jsonl with --control); inspect "
+                             "with 'splitsim-inspect timeline', feed to "
+                             "'splitsim-inspect recommend'")
+    parser.add_argument("--partition-file", metavar="PATH", default=None,
+                        help="apply a saved advisor recommendation "
+                             "(partition.json from 'splitsim-inspect "
+                             "recommend') as the network partition; "
+                             "mutually exclusive with --partition")
     return parser
 
 
@@ -104,6 +117,13 @@ def collect_app_stats(exp) -> dict:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    try:
+        return _cli_main(argv)
+    except BrokenPipeError:  # e.g. piped into head
+        return 0
+
+
+def _cli_main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         module = load_config(args.config)
@@ -124,8 +144,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                   file=sys.stderr)
             return 1
         inst_kwargs["network_partition"] = STRATEGIES[args.partition]
+    if args.partition_file:
+        if args.partition:
+            print("error: --partition-file and --partition are mutually "
+                  "exclusive", file=sys.stderr)
+            return 1
+        inst_kwargs["partition_file"] = args.partition_file
     if args.profile or args.profile_out:
         inst_kwargs["profile"] = True
+    if args.timeline is not None and not args.control:
+        inst_kwargs["timeline"] = True
     if args.trace or args.profile_out:
         inst_kwargs.setdefault("trace", True)
     if args.flows is not None:
@@ -140,7 +168,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     duration_text = args.duration or getattr(module, "DURATION", "10ms")
     duration = parse_time(duration_text)
 
-    exp = Instantiation(system, **inst_kwargs).build()
+    try:
+        exp = Instantiation(system, **inst_kwargs).build()
+    except (OSError, ValueError) as exc:
+        # e.g. a missing/malformed --partition-file document
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     try:
         if args.control:
             return _run_mp(args, exp, duration, duration_text)
@@ -161,11 +194,16 @@ def _run_mp(args, exp, duration: int, duration_text: str) -> int:
           f"{duration_text}: {', '.join(components)}")
     print(f"control plane: {rundir}  "
           f"(attach with: splitsim-inspect attach {rundir})")
+    timeline_path = None
+    if args.timeline is not None:
+        timeline_path = str(rundir / "timeline.jsonl") \
+            if args.timeline is True else args.timeline
     results = exp.run_mp(duration, progress=args.progress,
                          report_path=str(report_path),
                          trace_dir=str(trace_dir),
                          control_dir=str(rundir),
-                         flow_sample=args.flows)
+                         flow_sample=args.flows,
+                         timeline_path=timeline_path)
     for name in sorted(results):
         res = results[name]
         print(f"  {name}: {res.events} events, "
@@ -212,6 +250,12 @@ def _run(args, exp, duration: int, duration_text: str) -> int:
             exp.save_trace(str(outdir / "trace.json"))
             written.append("trace.json")
         print(f"wrote {outdir}/{{{', '.join(written)}}}")
+
+    if args.timeline is not None:
+        timeline_path = "timeline.jsonl" if args.timeline is True \
+            else args.timeline
+        exp.save_timeline(timeline_path)
+        print(f"wrote {timeline_path}")
 
     if args.trace:
         exp.save_trace(args.trace)

@@ -220,3 +220,92 @@ def test_flows_subcommand_rejects_flowless_trace(tmp_path, capsys):
 def test_flows_subcommand_fails_gracefully_on_missing(tmp_path, capsys):
     assert main(["flows", str(tmp_path / "nope.json")]) == 1
     assert "does not exist" in capsys.readouterr().err
+
+
+# -- timeline & recommend subcommands -----------------------------------------
+
+def timeline_run(tmp_path, duration=2 * MS):
+    system = System(seed=3)
+    system.switch("tor")
+    system.host("server", simulator="qemu")
+    system.host("client")
+    system.link("server", "tor", 10 * GBPS, 1 * US)
+    system.link("client", "tor", 10 * GBPS, 1 * US)
+    system.app("server", lambda h: KVServerApp())
+    addr = system.addr_of("server")
+    system.app("client", lambda h: KVClientApp([addr], closed_loop_window=4))
+    exp = Instantiation(system, timeline=True,
+                        timeline_interval_rounds=16).build()
+    exp.run(duration)
+    path = tmp_path / "timeline.jsonl"
+    exp.save_timeline(str(path))
+    return exp, path
+
+
+def test_timeline_subcommand_renders_and_writes_json(tmp_path, capsys):
+    _, path = timeline_run(tmp_path)
+    summary = tmp_path / "summary.json"
+    assert main(["timeline", str(path), "--json", str(summary)]) == 0
+    out = capsys.readouterr().out
+    assert "timeline: mode=strict" in out
+    assert "ev/s" in out and "wait" in out
+    doc = json.loads(summary.read_text())
+    assert doc["mode"] == "strict" and doc["rows"] > 0
+    assert "net" in doc["components"]
+    assert set(doc["phases"]["net"]) == {"warmup", "steady", "drain"}
+
+
+def test_timeline_subcommand_resolves_run_directory(tmp_path, capsys):
+    timeline_run(tmp_path)
+    assert main(["timeline", str(tmp_path)]) == 0
+    assert "timeline: mode=strict" in capsys.readouterr().out
+
+
+def test_timeline_subcommand_fails_gracefully(tmp_path, capsys):
+    # missing file
+    assert main(["timeline", str(tmp_path / "nope.jsonl")]) == 1
+    assert "error" in capsys.readouterr().err
+    # run directory without a timeline: actionable hint
+    empty = tmp_path / "rundir"
+    empty.mkdir()
+    assert main(["timeline", str(empty)]) == 1
+    assert "rerun with the timeline on" in capsys.readouterr().err
+    # corrupt document
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text("{not json\n")
+    assert main(["timeline", str(bad)]) == 1
+    assert "error" in capsys.readouterr().err
+
+
+def test_recommend_subcommand_writes_partition(tmp_path, capsys):
+    from repro.parallel.advisor import load_partition
+
+    _, path = timeline_run(tmp_path)
+    assert main(["recommend", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "recommended partition:" in out
+    assert "bottleneck:" in out
+    doc = load_partition(str(tmp_path / "partition.json"))
+    assert doc["predicted"]["speedup"] >= 1.0
+    assert "wrote" in out
+
+
+def test_recommend_subcommand_json_output(tmp_path, capsys):
+    _, path = timeline_run(tmp_path)
+    out_path = tmp_path / "plan.json"
+    assert main(["recommend", str(path), "--out", str(out_path),
+                 "--json"]) == 0
+    out = capsys.readouterr().out
+    start = out.index("{")
+    doc = json.loads(out[start:out.rindex("}") + 1])
+    assert doc["kind"] == "splitsim-partition"
+    assert out_path.exists()
+
+
+def test_recommend_subcommand_fails_gracefully(tmp_path, capsys):
+    assert main(["recommend", str(tmp_path / "nope.jsonl")]) == 1
+    assert "error" in capsys.readouterr().err
+    empty = tmp_path / "rundir"
+    empty.mkdir()
+    assert main(["recommend", str(empty)]) == 1
+    assert "rerun with the timeline on" in capsys.readouterr().err

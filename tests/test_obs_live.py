@@ -232,7 +232,8 @@ def test_run_report_v2_roundtrip(tmp_path):
     mon.note_done("bad", error="RuntimeError: boom")
     report = build_run_report(10 * US, 2.0, results, agg, trace="t.json",
                               health=mon.report())
-    assert report["schema"] == RUN_REPORT_SCHEMA == 2
+    assert report["schema"] == RUN_REPORT_SCHEMA == 3
+    assert report["timeline"] is None  # v3 field; v2 fields unchanged
     assert report["components"]["good"]["events"] == 42
     assert report["components"]["good"]["outputs"] == {"log": [1, 2]}
     assert report["components"]["good"]["error"] is None
@@ -245,13 +246,13 @@ def test_run_report_v2_roundtrip(tmp_path):
     write_run_report(str(path), report)
     loaded = json.loads(path.read_text())
     assert loaded == json.loads(json.dumps(report, default=str))
-    assert loaded["schema"] == 2
+    assert loaded["schema"] == 3
     assert loaded["health"]["degraded"] is True
 
 
 def test_run_report_health_defaults_to_null():
     report = build_run_report(1 * US, 0.1, {})
-    assert report["schema"] == 2
+    assert report["schema"] == 3
     assert report["health"] is None
     assert report["heartbeats"] == []
 
@@ -425,6 +426,14 @@ def test_control_close_removes_discovery_and_socket(tmp_path):
     plane.close()
     assert not (tmp_path / CONTROL_FILE).exists()
     with pytest.raises(ControlError):
+        ControlClient.attach(str(tmp_path))
+
+
+def test_attach_rejects_corrupt_control_file(tmp_path):
+    # a half-written/corrupt control.json must fail with a clean
+    # ControlError (one-line CLI message), never a raw JSONDecodeError
+    (tmp_path / CONTROL_FILE).write_text("{not json")
+    with pytest.raises(ControlError, match="no usable"):
         ControlClient.attach(str(tmp_path))
 
 

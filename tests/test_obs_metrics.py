@@ -93,6 +93,22 @@ def test_registry_rejects_kind_conflicts():
         reg.gauge("x")
 
 
+def test_snapshot_key_order_is_deterministic():
+    # snapshots feed JSON artifacts that get diffed across runs: key
+    # order must depend only on the names, never on insertion order
+    reg_a = MetricsRegistry()
+    for name in ("z.last", "a.first", "m.middle"):
+        reg_a.counter(name).inc()
+    reg_b = MetricsRegistry()
+    for name in ("m.middle", "z.last", "a.first"):
+        reg_b.counter(name).inc()
+    snap_a, snap_b = reg_a.snapshot(), reg_b.snapshot()
+    assert list(snap_a["metrics"]) == list(snap_b["metrics"]) == \
+        ["a.first", "m.middle", "z.last"]
+    import json
+    assert json.dumps(snap_a) == json.dumps(snap_b)
+
+
 def test_snapshot_is_versioned_and_flat():
     reg = MetricsRegistry()
     reg.counter("kernel.queue.executed").inc(10)
@@ -195,6 +211,35 @@ def test_histogram_bucket_boundary_values_are_inclusive():
     for bound in h.bounds:
         h.observe(bound)
     assert h.counts == [1, 1, 1, 1, 0]
+
+
+def test_histogram_quantile_at_exact_rank_boundaries():
+    # ranks landing exactly on a cumulative bucket count resolve to that
+    # bucket's bound, not the next one up
+    h = Histogram("h", start=1.0, factor=2.0, buckets=4)
+    for v in (1.0, 2.0, 4.0, 8.0):  # one observation per bucket
+        h.observe(v)
+    assert h.quantile(0.25) == 1.0
+    assert h.quantile(0.5) == 2.0
+    assert h.quantile(0.75) == 4.0
+    assert h.quantile(1.0) == 8.0
+
+
+def test_histogram_quantile_q_zero_is_minimum_bucket():
+    # q=0 maps to rank 1 — the first occupied bucket — never below the
+    # smallest observation
+    h = Histogram("h", start=1.0, factor=2.0, buckets=8)
+    h.observe(30.0)
+    h.observe(100.0)
+    assert h.quantile(0.0) == 32.0  # bound of the bucket holding 30
+    assert Histogram("e").quantile(0.0) == 0.0  # empty stays 0
+
+
+def test_histogram_quantile_single_observation_every_q():
+    h = Histogram("h", start=1.0, factor=2.0, buckets=8)
+    h.observe(3.0)
+    for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+        assert h.quantile(q) == 4.0  # the one occupied bucket's bound
 
 
 def test_histogram_bounds_stable_across_snapshot_versions():

@@ -180,3 +180,39 @@ def test_cli_flows_implies_trace(tmp_path, capsys, monkeypatch):
 def test_cli_flows_rejects_bad_divisor(tmp_path, capsys):
     assert main([write_config(tmp_path), "--flows", "0"]) == 1
     assert "divisor" in capsys.readouterr().err
+
+
+# -- timeline & partition-file flags ------------------------------------------
+
+def test_cli_timeline_writes_document(tmp_path, capsys, monkeypatch):
+    from repro.obs.timeline import load_timeline
+
+    path = write_config(tmp_path)
+    monkeypatch.chdir(tmp_path)
+    assert main([path, "--timeline"]) == 0
+    assert "wrote timeline.jsonl" in capsys.readouterr().out
+    tl = load_timeline(str(tmp_path / "timeline.jsonl"))
+    assert tl.mode == "strict" and tl.rows
+
+
+def test_cli_timeline_explicit_path(tmp_path, capsys):
+    from repro.obs.timeline import load_timeline
+
+    path = write_config(tmp_path)
+    out_path = tmp_path / "tl.jsonl"
+    assert main([path, "--timeline", str(out_path)]) == 0
+    assert load_timeline(str(out_path)).rows
+
+
+def test_cli_partition_file_mutually_exclusive(tmp_path, capsys):
+    path = write_config(tmp_path)
+    assert main([path, "--partition", "rs",
+                 "--partition-file", "whatever.json"]) == 1
+    assert "mutually exclusive" in capsys.readouterr().err
+
+
+def test_cli_partition_file_missing_errors(tmp_path, capsys):
+    path = write_config(tmp_path)
+    assert main([path, "--partition-file",
+                 str(tmp_path / "nope.json")]) == 1
+    assert "error" in capsys.readouterr().err
