@@ -171,17 +171,21 @@ def _run_obs(scale: float, repeat: int, trace_alloc: bool) -> List[BenchResult]:
     ``benchmarks/perf/test_obs_overhead.py`` bounds — while
     ``flows_sampled`` records every flow.  The ``timeline`` variant runs
     untraced but with the epoch-resolved metrics timeline attached
-    (counter reads at round boundaries only), the cost the same perf
-    guard bounds at 5%.
+    (counter reads at round boundaries only), and the ``audit`` variant
+    with the per-epoch digest ledger (one list-append per event, window
+    hashing at round boundaries) — both costs the same perf guard bounds
+    at 5%.
     """
     duration = max(1, int(1 * MS * scale))
 
-    def variant(traced: bool, flow_sample=None, timeline: bool = False):
+    def variant(traced: bool, flow_sample=None, timeline: bool = False,
+                audit: bool = False):
         def workload():
             from ..obs.flows import uninstall_flow_recorder
             from ..orchestration.instantiate import Instantiation
             exp = Instantiation(build_mixed_system(), mode="strict",
                                 trace=traced, timeline=timeline,
+                                audit=audit,
                                 flow_sample=flow_sample).build()
             state: Dict[str, int] = {}
 
@@ -198,6 +202,8 @@ def _run_obs(scale: float, repeat: int, trace_alloc: bool) -> List[BenchResult]:
                     state["trace_dropped"] = exp.tracer.dropped
                 if exp.timeline is not None:
                     state["timeline_rows"] = len(exp.timeline.rows)
+                if exp.audit is not None:
+                    state["audit_rows"] = len(exp.audit.sorted_rows())
 
             return run, lambda: dict(state)
         return workload
@@ -215,6 +221,9 @@ def _run_obs(scale: float, repeat: int, trace_alloc: bool) -> List[BenchResult]:
                 repeat=repeat, trace_alloc=trace_alloc),
         measure("strict_mixed_timeline", {"duration_ps": duration},
                 variant(False, timeline=True),
+                repeat=repeat, trace_alloc=trace_alloc),
+        measure("strict_mixed_audit", {"duration_ps": duration},
+                variant(False, audit=True),
                 repeat=repeat, trace_alloc=trace_alloc),
     ]
 

@@ -128,6 +128,38 @@ def mp_digests(n: int, until_ps: int, tokens: int = TOKENS,
     return {name: res.timeline_digest for name, res in results.items()}
 
 
+#: Audit epoch width for the pipeline determinism fixture (the 50 us
+#: smoke run then spans ten windows).
+AUDIT_WINDOW_PS = 5 * US
+
+
+def inproc_audit_ledger(n: int, until_ps: int, tokens: int = TOKENS,
+                        window_ps: int = AUDIT_WINDOW_PS):
+    """Audit ledger of the strict in-process pipeline run."""
+    from ..obs.audit import AuditRecorder
+    sim, comps = _build_inproc(n, tokens)
+    sim._wire()
+    recorder = AuditRecorder(comps, window_ps=window_ps)
+    sim.audit = recorder
+    sim._run_strict(until_ps)
+    return recorder.to_ledger(mode="strict")
+
+
+def mp_audit_ledger(n: int, until_ps: int, tokens: int = TOKENS,
+                    window_ps: int = AUDIT_WINDOW_PS,
+                    timeout_s: float = 120.0, tmpdir: str = "."):
+    """Audit ledger of the real multiprocess pipeline run."""
+    import os
+
+    from ..obs.audit import load_audit
+    specs, channels = pipeline_specs(n, tokens)
+    path = os.path.join(tmpdir, "audit.jsonl")
+    ProcessRunner(specs, channels).run(
+        until_ps, timeout_s=timeout_s, audit_path=path,
+        audit_window_ps=window_ps)
+    return load_audit(path)
+
+
 # -- bench workload factories ------------------------------------------------
 
 #: Messages per send_batch in the ring microbenchmark.

@@ -31,6 +31,14 @@ measures against.  It has four pieces:
   (in-process strict) or piggybacked on heartbeats (multiprocess) into a
   columnar ``timeline.jsonl``.  Input to the partition advisor
   (:mod:`repro.parallel.advisor`).
+* :mod:`repro.obs.audit` — the divergence auditor: a streaming ledger of
+  per-component, per-epoch timeline subdigests (fixed simulated-time
+  windows, chained digests, columnar ``audit.jsonl``) whose root is
+  bit-identical to the determinism guard's golden fold, plus the
+  cross-run diff behind ``splitsim-inspect diff``.
+* :mod:`repro.obs.schema` — the single source of every versioned document
+  schema constant (``run_report.json``, ``timeline.jsonl``,
+  ``audit.jsonl``, traces, metric snapshots, control, partition).
 * :mod:`repro.obs.names` — the single source of metric-name literals
   shared by emitters, collectors, and the inspect CLI.
 
@@ -63,6 +71,11 @@ from .timeline import (EpochRow, EpochTracker, MpTimelineCollector,
                        TIMELINE_FILE, TIMELINE_SCHEMA, Timeline,
                        TimelineRecorder, detect_phases, load_timeline,
                        resolve_timeline_path, save_timeline)
+from .audit import (AUDIT_FILE, AUDIT_SCHEMA, AuditDiff, AuditDivergence,
+                    AuditLedger, AuditRecorder, AuditRow, ComponentAuditor,
+                    DEFAULT_WINDOW_PS, MpAuditCollector, diff_ledgers,
+                    fold_root, load_audit, resolve_audit_path)
+from .schema import ALL_SCHEMAS
 from . import names
 
 __all__ = [
@@ -86,5 +99,10 @@ __all__ = [
     "Timeline", "TimelineRecorder", "EpochRow", "EpochTracker",
     "MpTimelineCollector", "TIMELINE_SCHEMA", "TIMELINE_FILE",
     "save_timeline", "load_timeline", "resolve_timeline_path",
-    "detect_phases", "names",
+    "detect_phases",
+    "AuditRecorder", "AuditLedger", "AuditRow", "AuditDiff",
+    "AuditDivergence", "ComponentAuditor", "MpAuditCollector",
+    "diff_ledgers", "fold_root", "load_audit", "resolve_audit_path",
+    "AUDIT_SCHEMA", "AUDIT_FILE", "DEFAULT_WINDOW_PS", "ALL_SCHEMAS",
+    "names",
 ]

@@ -12,6 +12,7 @@ multiprocess runner's ``trace_dir``)::
     splitsim-inspect attach rundir dump-trace stop # scripted commands
     splitsim-inspect timeline rundir               # per-epoch view
     splitsim-inspect recommend rundir              # partition advisor
+    splitsim-inspect diff runA runB                # localize a divergence
 
 The ``flows`` subcommand post-processes causal flow-hop records
 (``splitsim-run --flows N`` / ``SPLITSIM_FLOW_SAMPLE``) into per-flow
@@ -24,6 +25,12 @@ work activity with warmup/steady/drain phase detection and a
 stall/backpressure overlay.  ``recommend`` runs the partition advisor
 (:mod:`repro.parallel.advisor`) over the same file and writes
 ``partition.json`` next to it.
+
+The ``diff`` subcommand walks two audit ledgers (``splitsim-run --audit``
+/ :mod:`repro.obs.audit`) to the first divergent ``(epoch, component)``
+and drills into run reports, metric timelines, and traces when both runs
+carry them — turning a bare digest mismatch into a localized, bisectable
+artifact.
 
 The ``attach`` subcommand connects to a *running* multiprocess
 simulation's control plane (``splitsim-run --control DIR`` /
@@ -382,6 +389,19 @@ def _sparkline(values: List[float], width: int = 48,
     return "".join(bar)
 
 
+def timeline_warnings(tl) -> List[str]:
+    """Data-quality warnings for a loaded timeline (currently: drops)."""
+    dropped = tl.header.get("dropped", 0)
+    if not dropped:
+        return []
+    kept = len(tl.rows)
+    total = kept + dropped
+    frac = dropped / total if total else 0.0
+    return [f"{dropped} of {total} epoch rows dropped at the recorder's "
+            f"bound ({frac:.0%}) — oldest epochs are missing; raise "
+            "max_rows or interval_rounds to keep the full run"]
+
+
 def render_timeline(tl, width: int = 48) -> str:
     """Text rendering of a loaded :class:`~repro.obs.timeline.Timeline`."""
     from .timeline import BACKPRESSURE_FILL, STALL_FRACTION
@@ -391,6 +411,8 @@ def render_timeline(tl, width: int = 48) -> str:
                  f"components={len(tl.components)} rows={len(tl.rows)}"
                  + (f" dropped={header.get('dropped')}"
                     if header.get("dropped") else ""))
+    for warning in timeline_warnings(tl):
+        lines.append(f"  warning: {warning}")
     phases = tl.phases()
     by_comp = tl.by_component()
     name_w = max((len(c) for c in tl.components), default=0)
@@ -426,6 +448,7 @@ def _timeline_to_dict(tl) -> dict:
     """Machine-readable timeline summary (per-component steady rates)."""
     out = {"mode": tl.mode, "until_ps": tl.until_ps,
            "rows": len(tl.rows), "dropped": tl.header.get("dropped", 0),
+           "warnings": timeline_warnings(tl),
            "phases": tl.phases(), "components": {}}
     for comp in tl.components:
         steady = tl.steady_rows(comp)
@@ -528,6 +551,217 @@ def _recommend_main(argv: List[str]) -> int:
         print(render_plan(plan))
     print(f"wrote {out}")
     return 0
+
+
+# -- cross-run audit diff -----------------------------------------------------
+
+def _load_audit_cli(path: str):
+    """Resolve and load an audit ledger; print the failure and return None."""
+    from .audit import load_audit, resolve_audit_path
+    resolved = resolve_audit_path(path)
+    try:
+        return load_audit(resolved)
+    except OSError as exc:
+        if os.path.isdir(path):
+            print(f"error: {path} has no audit.jsonl — rerun with auditing "
+                  "on (splitsim-run --audit, Instantiation(audit=True), or "
+                  "run_mp(audit_path=...))", file=sys.stderr)
+        else:
+            print(f"error reading {resolved}: {exc}", file=sys.stderr)
+        return None
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None
+
+
+def _run_dir_of(path: str) -> Optional[str]:
+    """The run directory a ledger path lives in (for drilldowns)."""
+    d = path if os.path.isdir(path) else os.path.dirname(path) or "."
+    return d if os.path.isdir(d) else None
+
+
+def _drill_reports(dir_a: Optional[str], dir_b: Optional[str],
+                   comp: str) -> List[str]:
+    """Compare the divergent component across both run reports."""
+    lines: List[str] = []
+    reports = []
+    for label, d in (("A", dir_a), ("B", dir_b)):
+        if d is None:
+            return []
+        p = os.path.join(d, "run_report.json")
+        if not os.path.isfile(p):
+            return []
+        try:
+            with open(p) as fh:
+                reports.append((label, json.load(fh)))
+        except (OSError, json.JSONDecodeError):
+            return []
+    lines.append(f"run reports ({comp}):")
+    for label, report in reports:
+        entry = (report.get("components") or {}).get(comp)
+        health = ((report.get("health") or {}).get("components")
+                  or {}).get(comp)
+        if entry is None:
+            lines.append(f"  {label}: component missing from report")
+            continue
+        err = f" error={entry.get('error')}" if entry.get("error") else ""
+        lines.append(f"  {label}: {entry.get('events', '?')} events, "
+                     f"health={health or '?'}{err}")
+    return lines
+
+
+def _drill_timelines(dir_a: Optional[str], dir_b: Optional[str],
+                     comp: str, window: Tuple[int, int]) -> List[str]:
+    """Show the divergent component's metric rows around the window."""
+    from .timeline import load_timeline, resolve_timeline_path
+    lines: List[str] = []
+    lo, hi = window
+    loaded = []
+    for label, d in (("A", dir_a), ("B", dir_b)):
+        if d is None:
+            return []
+        p = resolve_timeline_path(d)
+        if not os.path.isfile(p):
+            return []
+        try:
+            loaded.append((label, load_timeline(p)))
+        except (OSError, ValueError):
+            return []
+    lines.append(f"metric timelines ({comp}, epochs overlapping "
+                 f"[{fmt_time(lo)} .. {fmt_time(hi)})):")
+    for label, tl in loaded:
+        rows = [r for r in tl.by_component().get(comp, [])
+                if r.sim_ps >= lo]
+        if not rows:
+            lines.append(f"  {label}: no rows at or past the window")
+            continue
+        r = rows[0]
+        lines.append(f"  {label}: epoch {r.epoch} @{fmt_time(r.sim_ps)}: "
+                     f"{r.events} events, {r.work_cycles:,.0f} work, "
+                     f"{r.wait_fraction:.0%} wait")
+    return lines
+
+
+def _window_events(doc: dict, window: Tuple[int, int]) -> List[tuple]:
+    """Sim-clock trace events inside the window, in execution order."""
+    lo_us, hi_us = window[0] / 1e6, window[1] / 1e6
+    out = []
+    for ev in doc.get("traceEvents", []):
+        ts = ev.get("ts")
+        if ts is None or not (lo_us <= ts < hi_us):
+            continue
+        if ev.get("ph") not in ("X", "i"):
+            continue
+        out.append((ts, ev.get("ph"), ev.get("name", ""),
+                    ev.get("dur", 0.0)))
+    out.sort()
+    return out
+
+
+def _drill_traces(dir_a: Optional[str], dir_b: Optional[str],
+                  window: Tuple[int, int], context: int = 3) -> List[str]:
+    """First divergent trace events inside the window, with context."""
+    docs = []
+    for d in (dir_a, dir_b):
+        if d is None:
+            return []
+        p = os.path.join(d, "trace.json")
+        if not os.path.isfile(p):
+            return []
+        try:
+            docs.append(load_trace(p))
+        except (OSError, json.JSONDecodeError):
+            return []
+    ev_a, ev_b = (_window_events(doc, window) for doc in docs)
+    first = next((i for i, (a, b) in enumerate(zip(ev_a, ev_b)) if a != b),
+                 None)
+    if first is None:
+        if len(ev_a) == len(ev_b):
+            return ["traces: window event sequences agree (divergence is "
+                    "below trace granularity)"]
+        first = min(len(ev_a), len(ev_b))
+    lines = [f"traces: first divergent event at index {first} of the "
+             "window:"]
+    lo = max(0, first - context)
+    for label, evs in (("A", ev_a), ("B", ev_b)):
+        lines.append(f"  {label}:")
+        for i in range(lo, min(first + context + 1, len(evs))):
+            ts, ph, name, dur = evs[i]
+            marker = ">>" if i == first else "  "
+            dur_txt = f" dur={dur:.3f}us" if ph == "X" else ""
+            lines.append(f"    {marker} [{i}] {ts:.3f}us {ph} "
+                         f"{name}{dur_txt}")
+        if first >= len(evs):
+            lines.append(f"    >> [{first}] (no event — sequence ended)")
+    return lines
+
+
+def render_audit_diff(diff, a, b, path_a: str, path_b: str,
+                      drill: Optional[List[str]] = None) -> str:
+    """Human table for an :class:`~repro.obs.audit.AuditDiff`."""
+    lines: List[str] = []
+    for label, ledger, path in (("A", a, path_a), ("B", b, path_b)):
+        root = ledger.root[:16] + "..." if ledger.root else "(partial)"
+        lines.append(f"{label}: {path}  mode={ledger.mode} "
+                     f"until={fmt_time(ledger.until_ps)} "
+                     f"window={fmt_time(ledger.window_ps)} "
+                     f"components={len(ledger.components)} "
+                     f"rows={len(ledger.rows)} root={root}")
+    for problem in diff.problems:
+        lines.append(f"warning: {problem}")
+    lines.append(f"status: {diff.status} "
+                 f"({diff.rows_compared} rows identical)")
+    if diff.divergence is not None:
+        lines.append(diff.divergence.describe())
+    if diff.mismatched_components:
+        lines.append("components whose end-of-run digests differ: "
+                     + ", ".join(diff.mismatched_components))
+    for line in drill or []:
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def _diff_main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="splitsim-inspect diff",
+        description="Walk two audit ledgers (splitsim-run --audit) to the "
+                    "first divergent (epoch, component), then drill into "
+                    "run reports, metric timelines, and traces when the "
+                    "runs have them.  Exit 0 = identical, 1 = diverged, "
+                    "2 = not comparable.")
+    parser.add_argument("run_a", help="audit.jsonl file or run dir (A)")
+    parser.add_argument("run_b", help="audit.jsonl file or run dir (B)")
+    parser.add_argument("--context", type=int, default=3,
+                        help="trace events of context around the first "
+                             "divergent event (default 3)")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the machine-readable diff report")
+    args = parser.parse_args(argv)
+    from .audit import DIFF_DIVERGED, DIFF_IDENTICAL, diff_ledgers
+    a = _load_audit_cli(args.run_a)
+    b = _load_audit_cli(args.run_b)
+    if a is None or b is None:
+        return 2
+    diff = diff_ledgers(a, b)
+    drill: List[str] = []
+    if diff.divergence is not None:
+        d = diff.divergence
+        dir_a, dir_b = _run_dir_of(args.run_a), _run_dir_of(args.run_b)
+        drill += _drill_reports(dir_a, dir_b, d.comp)
+        drill += _drill_timelines(dir_a, dir_b, d.comp, d.window)
+        drill += _drill_traces(dir_a, dir_b, d.window, args.context)
+    print(render_audit_diff(diff, a, b, args.run_a, args.run_b, drill))
+    if args.json:
+        report = diff.to_dict()
+        report["a"] = {"path": args.run_a, **a.header}
+        report["b"] = {"path": args.run_b, **b.header}
+        report["drilldown"] = drill
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"wrote {args.json}")
+    if diff.status == DIFF_IDENTICAL:
+        return 0
+    return 1 if diff.status == DIFF_DIVERGED else 2
 
 
 # -- live attach --------------------------------------------------------------
@@ -720,7 +954,9 @@ def build_parser() -> argparse.ArgumentParser:
                     "Use the 'flows' subcommand for causal flow analysis, "
                     "'attach' to inspect a running simulation live, "
                     "'timeline' for the epoch-resolved metrics view, "
-                    "'recommend' for the partition advisor.")
+                    "'recommend' for the partition advisor, "
+                    "'diff' to localize a divergence between two audited "
+                    "runs.")
     parser.add_argument("trace", help="Chrome-trace JSON file or run dir")
     parser.add_argument("--top", type=int, default=10,
                         help="span groups to list (default 10)")
@@ -751,6 +987,8 @@ def _main(argv: Optional[List[str]] = None) -> int:
         return _timeline_main(argv[1:])
     if argv and argv[0] == "recommend":
         return _recommend_main(argv[1:])
+    if argv and argv[0] == "diff":
+        return _diff_main(argv[1:])
     args = build_parser().parse_args(argv)
     doc = _load_doc(args.trace)
     if doc is None:

@@ -54,8 +54,9 @@ import time
 from queue import Empty
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-#: Version of the control protocol and of ``control.json``.
-CONTROL_SCHEMA = 1
+#: Version of the control protocol and of ``control.json``
+#: (re-exported from the central registry in :mod:`repro.obs.schema`).
+from .schema import CONTROL_SCHEMA
 
 #: Discovery file written into the run directory.
 CONTROL_FILE = "control.json"

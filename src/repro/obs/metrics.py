@@ -23,8 +23,9 @@ from typing import Any, Dict, List, Optional
 
 from . import names
 
-#: Schema version of the snapshot document.
-METRICS_SCHEMA = 1
+#: Schema version of the snapshot document
+#: (re-exported from the central registry in :mod:`repro.obs.schema`).
+from .schema import METRICS_SCHEMA
 
 
 class Counter:

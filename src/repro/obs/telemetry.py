@@ -23,6 +23,9 @@ check it.  Version history:
   metrics timeline (``timeline.jsonl``, see :mod:`repro.obs.timeline`),
   or ``null`` when the run did not record one.  All v2 fields are
   unchanged.
+* ``4`` — adds ``audit``: the relative path of the per-epoch digest
+  ledger (``audit.jsonl``, see :mod:`repro.obs.audit`), or ``null`` when
+  the run was not audited.  All v3 fields are unchanged.
 """
 
 from __future__ import annotations
@@ -34,9 +37,15 @@ from dataclasses import asdict, dataclass
 from typing import Deque, Dict, List, Optional
 
 from ..kernel.simtime import fmt_time
+from .schema import RUN_REPORT_SCHEMA
 
-#: Schema version of ``run_report.json``.
-RUN_REPORT_SCHEMA = 3
+__all__ = [
+    "RUN_REPORT_SCHEMA", "MAX_HEARTBEATS", "MAX_ALERTS",
+    "HEALTH_STARTING", "HEALTH_OK", "HEALTH_STALLED", "HEALTH_STALE",
+    "HEALTH_DONE", "HEALTH_FAILED",
+    "Heartbeat", "TelemetryAggregator", "HealthMonitor",
+    "build_run_report", "write_run_report",
+]
 
 #: Parent-side cap on retained heartbeat history (oldest dropped first).
 MAX_HEARTBEATS = 4096
@@ -68,12 +77,18 @@ class Heartbeat:
     #: :class:`repro.obs.timeline.EpochTracker`); ``None`` when the run
     #: records no timeline
     epoch: Optional[dict] = None
+    #: piggybacked closed audit-ledger rows (see
+    #: :class:`repro.obs.audit.ComponentAuditor`); ``None`` when the run
+    #: is not audited
+    audit: Optional[list] = None
 
     def to_dict(self) -> dict:
-        # the epoch payload lives in timeline.jsonl, not in the report's
-        # heartbeat history — history rows keep their v2 shape
+        # the epoch/audit payloads live in timeline.jsonl / audit.jsonl,
+        # not in the report's heartbeat history — history rows keep their
+        # v2 shape
         d = asdict(self)
         d.pop("epoch", None)
+        d.pop("audit", None)
         return d
 
 
@@ -291,7 +306,8 @@ def build_run_report(until_ps: int, wall_seconds: float, results: dict,
                      aggregator: Optional[TelemetryAggregator] = None,
                      trace: Optional[str] = None,
                      health: Optional[dict] = None,
-                     timeline: Optional[str] = None) -> dict:
+                     timeline: Optional[str] = None,
+                     audit: Optional[str] = None) -> dict:
     """Assemble the versioned ``run_report.json`` document."""
     components = {}
     for name, res in sorted(results.items()):
@@ -314,6 +330,7 @@ def build_run_report(until_ps: int, wall_seconds: float, results: dict,
         "trace": trace,
         "health": health,
         "timeline": timeline,
+        "audit": audit,
     }
 
 

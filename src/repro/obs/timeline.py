@@ -42,8 +42,9 @@ from typing import Any, Deque, Dict, List, Optional, Tuple
 
 from . import names
 
-#: Schema version of the timeline document (header ``schema`` field).
-TIMELINE_SCHEMA = 1
+#: Schema version of the timeline document (header ``schema`` field;
+#: re-exported from the central registry in :mod:`repro.obs.schema`).
+from .schema import TIMELINE_SCHEMA
 
 #: The header's ``kind`` marker (guards against loading arbitrary JSONL).
 TIMELINE_KIND = "splitsim-timeline"

@@ -41,8 +41,9 @@ import os
 import time
 from typing import Any, Dict, List, Optional
 
-#: Schema version stamped into every exported trace document.
-TRACE_SCHEMA = 1
+#: Schema version stamped into every exported trace document
+#: (re-exported from the central registry in :mod:`repro.obs.schema`).
+from .schema import TRACE_SCHEMA
 
 #: Reserved pid for orchestration phase spans (wall-clock domain).
 ORCH_PID = 1000

@@ -81,6 +81,9 @@ class Experiment:
         #: :class:`~repro.obs.timeline.TimelineRecorder` (set by
         #: :meth:`enable_timeline`)
         self.timeline = None
+        #: :class:`~repro.obs.audit.AuditRecorder` (set by
+        #: :meth:`enable_audit`)
+        self.audit = None
 
     # -- conveniences ------------------------------------------------------------
 
@@ -212,6 +215,39 @@ class Experiment:
             self.sim.timeline = self.timeline
         return self.timeline
 
+    def enable_audit(self, window_ps: Optional[int] = None,
+                     interval_rounds: int = 64):
+        """Attach the per-epoch digest ledger to this experiment.
+
+        Folds every component's event timeline into per-epoch subdigests
+        over fixed simulated-time windows (``window_ps`` wide), chained so
+        ``splitsim-inspect diff`` can localize the first divergent
+        ``(epoch, component)`` between two runs.  The ledger's root digest
+        is bit-identical to the determinism guard's timeline fold.  Works
+        in both execution modes: strict runs flush closed windows every
+        ``interval_rounds`` sync rounds; fast runs flush at run end.  Call
+        before :meth:`run`; export with :meth:`save_audit`.
+        """
+        from ..obs.audit import DEFAULT_WINDOW_PS, AuditRecorder
+        if self.audit is None:
+            self.audit = AuditRecorder(
+                self.sim.components,
+                window_ps=DEFAULT_WINDOW_PS if window_ps is None
+                else window_ps,
+                interval_rounds=interval_rounds,
+                meta={"system": self.system.spec.name
+                      if hasattr(self.system, "spec")
+                      and hasattr(self.system.spec, "name") else None})
+            self.sim.audit = self.audit
+        return self.audit
+
+    def save_audit(self, path: str) -> dict:
+        """Write the recorded audit ledger; returns its header."""
+        if self.audit is None:
+            raise RuntimeError("enable_audit() before running "
+                               "to collect an audit ledger")
+        return self.audit.save(path, mode=self.sim.mode)
+
     def _net_switches(self) -> Dict[str, List[str]]:
         """Which topology switches each network component carries (for the
         advisor's switch-level assignment output)."""
@@ -256,7 +292,9 @@ class Experiment:
                control_dir: Optional[str] = None,
                stall_intervals: int = 4,
                stale_after_s: Optional[float] = None,
-               timeline_path: Optional[str] = None):
+               timeline_path: Optional[str] = None,
+               audit_path: Optional[str] = None,
+               audit_window_ps: Optional[int] = None):
         """Run this experiment with one OS process per component simulator.
 
         This is the paper's actual deployment (shared-memory channels,
@@ -269,7 +307,9 @@ class Experiment:
         live control plane (``splitsim-inspect attach``) from that run
         directory; ``stall_intervals``/``stale_after_s`` tune its watchdog.
         ``timeline_path`` writes the epoch-resolved metrics timeline there
-        (children piggyback epoch deltas on heartbeats).
+        (children piggyback epoch deltas on heartbeats).  ``audit_path``
+        writes the per-epoch digest ledger there (``audit_window_ps``
+        sets the epoch width; see :mod:`repro.obs.audit`).
         """
         specs = [ProcSpec(c.name, component=c) for c in self.sim.components]
         channels = [
@@ -284,7 +324,9 @@ class Experiment:
                           control_dir=control_dir,
                           stall_intervals=stall_intervals,
                           stale_after_s=stale_after_s,
-                          timeline_path=timeline_path)
+                          timeline_path=timeline_path,
+                          audit_path=audit_path,
+                          audit_window_ps=audit_window_ps)
 
     def execution_model(self, sim_time_ps: int) -> ParallelExecutionModel:
         """Virtual-time model over this experiment's recorded workload."""
@@ -334,6 +376,14 @@ class Instantiation:
     #: ``experiment.save_timeline(path)`` after the run.
     timeline: bool = False
     timeline_interval_rounds: int = 64
+    #: Record the per-epoch digest ledger (see :mod:`repro.obs.audit`).
+    #: Works in any execution mode — epochs are fixed simulated-time
+    #: windows, so ledgers from fast, strict, and multiprocess runs are
+    #: directly comparable.  Export with ``experiment.save_audit(path)``.
+    audit: bool = False
+    #: Audit epoch width in simulated picoseconds (``None`` = the module
+    #: default, :data:`repro.obs.audit.DEFAULT_WINDOW_PS`).
+    audit_window_ps: Optional[int] = None
     #: Apply a saved advisor recommendation (``partition.json`` from
     #: ``splitsim-inspect recommend``) as the network partition.
     #: Mutually exclusive with ``network_partition``.
@@ -468,6 +518,8 @@ class Instantiation:
             exp.sampler = sampler
         if self.timeline:
             exp.enable_timeline(self.timeline_interval_rounds)
+        if self.audit:
+            exp.enable_audit(self.audit_window_ps)
         if self.transparent_clocks:
             exp.install_transparent_clocks()
         return exp

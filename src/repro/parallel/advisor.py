@@ -40,8 +40,9 @@ from typing import Dict, List, Optional, Tuple
 from ..obs.timeline import Timeline
 from .costmodel import CommCosts, Machine, PAPER_MACHINE
 
-#: Schema version of ``partition.json``.
-PARTITION_SCHEMA = 1
+#: Schema version of ``partition.json``
+#: (re-exported from the central registry in :mod:`repro.obs.schema`).
+from ..obs.schema import PARTITION_SCHEMA
 
 #: The document's ``kind`` marker.
 PARTITION_KIND = "splitsim-partition"

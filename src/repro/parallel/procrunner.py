@@ -96,6 +96,10 @@ class ProcResult:
     #: SHA-256 of this component's event timeline (``name:ts,ts,...;``),
     #: filled when the run was started with ``digest=True``
     timeline_digest: Optional[str] = None
+    #: per-epoch audit ledger payload (rows + component digest +
+    #: zlib-compressed timeline payload; see :mod:`repro.obs.audit`),
+    #: filled when the run was started with ``audit_path``
+    audit: Optional[dict] = None
     error: Optional[str] = None
 
 
@@ -157,6 +161,10 @@ class _HeartbeatPump:
         #: whose delta payload piggybacks on every heartbeat; ``None`` when
         #: the run records no timeline.
         self.epoch_tracker = None
+        #: audit ledger state (:class:`repro.obs.audit.ComponentAuditor`)
+        #: whose newly closed rows piggyback on every heartbeat; ``None``
+        #: when the run is not audited.
+        self.auditor = None
 
     def maybe(self, commit: int, waiting: bool) -> None:
         now = time.perf_counter()
@@ -174,11 +182,16 @@ class _HeartbeatPump:
             epoch = None
             if self.epoch_tracker is not None:
                 epoch = self.epoch_tracker.delta(commit)
+            audit_rows = None
+            if self.auditor is not None:
+                self.auditor.flush_closed()
+                audit_rows = self.auditor.take_rows() or None
             try:
                 self._q.put_nowait(Heartbeat(
                     comp=self._name, wall_s=now - self._t_start,
                     sim_ps=commit, events=events, events_per_sec=eps,
-                    ring_fill=fill, waiting=waiting, epoch=epoch))
+                    ring_fill=fill, waiting=waiting, epoch=epoch,
+                    audit=audit_rows))
             except Exception:  # pragma: no cover - queue full/closed
                 pass
         tracer = self._tracer
@@ -221,10 +234,12 @@ def _child_main(spec: ProcSpec,
                 digest: bool = False,
                 flow_sample: Optional[int] = None,
                 cmd_q=None, reply_q=None,
-                epoch_timeline: bool = False) -> None:
+                epoch_timeline: bool = False,
+                audit_window_ps: Optional[int] = None) -> None:
     result = ProcResult(name=spec.name)
     rings: List[ShmRing] = []
     tracer = None
+    auditor = None
     try:
         if trace_dir is not None:
             from ..obs.trace import Tracer
@@ -249,9 +264,22 @@ def _child_main(spec: ProcSpec,
             end.wire(out_q=out_ring, in_q=in_ring, peer_name=peer)
             end.peer_comp_name = peer_comp
         timeline: Optional[List[int]] = None
-        if digest:
+        if audit_window_ps is not None:
+            from ..obs.audit import ComponentAuditor
+            auditor = ComponentAuditor(spec.name, audit_window_ps)
+        # Per-event hot path: bare list appends only; the auditor's window
+        # splitting happens in batch at heartbeat/run-end flush points.
+        if digest and auditor is not None:
+            timeline = []
+            tl_append, au_append = timeline.append, auditor.buf.append
+            comp.queue.trace = lambda owner, ts: (tl_append(ts),
+                                                  au_append(ts))
+        elif digest:
             timeline = []
             comp.queue.trace = lambda owner, ts: timeline.append(ts)
+        elif auditor is not None:
+            au_append = auditor.buf.append
+            comp.queue.trace = lambda owner, ts: au_append(ts)
         t_start = time.perf_counter()
         run_start_us = 0.0
         if tracer is not None:
@@ -266,6 +294,8 @@ def _child_main(spec: ProcSpec,
             if epoch_timeline and telemetry_q is not None:
                 from ..obs.timeline import EpochTracker
                 pump.epoch_tracker = EpochTracker(comp)
+            if auditor is not None and telemetry_q is not None:
+                pump.auditor = auditor
         mailbox = None
         if cmd_q is not None:
             # Control-plane command mailbox, polled at sync-round
@@ -341,8 +371,18 @@ def _child_main(spec: ProcSpec,
                 if stopping:
                     break
             last_commit = commit
-        if pump is not None and pump.epoch_tracker is not None:
+        if pump is not None and (pump.epoch_tracker is not None
+                                 or pump.auditor is not None):
             pump.flush(commit)
+        if auditor is not None:
+            from ..obs.audit import pack_payload
+            auditor.finalize()
+            result.audit = {
+                "rows": [r.to_wire() for r in auditor.rows],
+                "digest": auditor.digest(),
+                "payload_z": pack_payload(auditor.payload()),
+                "events": auditor.events,
+            }
         result.events = comp.events_processed
         result.wall_seconds = time.perf_counter() - t_start
         result.wait_seconds = wait_ns / 1e9
@@ -365,6 +405,12 @@ def _child_main(spec: ProcSpec,
                                            f"{spec.name}.trace.jsonl"))
     except Exception as exc:  # pragma: no cover - error path
         result.error = f"{type(exc).__name__}: {exc}"
+        if auditor is not None:
+            # ship what closed before the failure: the parent keeps a
+            # partial ledger (null root) instead of losing localization
+            auditor.flush_closed()
+            result.audit = {"rows": [r.to_wire() for r in auditor.rows],
+                            "partial": True}
     finally:
         for ring in rings:
             ring.close()
@@ -392,7 +438,9 @@ class ProcessRunner:
             control_dir: Optional[str] = None,
             stall_intervals: int = 4,
             stale_after_s: Optional[float] = None,
-            timeline_path: Optional[str] = None) -> Dict[str, ProcResult]:
+            timeline_path: Optional[str] = None,
+            audit_path: Optional[str] = None,
+            audit_window_ps: Optional[int] = None) -> Dict[str, ProcResult]:
         """Run all components to ``until_ps``; returns per-component results.
 
         Parameters
@@ -434,6 +482,18 @@ class ProcessRunner:
             parent assembles and persists them.  Referenced from the run
             report's ``timeline`` field when ``report_path`` is given.
             Pure counter reads — the determinism digest is unchanged.
+        audit_path:
+            Write the per-epoch digest ledger here (``audit.jsonl``, see
+            :mod:`repro.obs.audit`): children piggyback closed windows on
+            their heartbeats and ship the authoritative rows + payload in
+            their result; the parent assembles the ledger and folds the
+            root digest — bit-identical to the in-process golden fold.
+            Referenced from the run report's ``audit`` field when
+            ``report_path`` is given.
+        audit_window_ps:
+            Epoch width of the audit ledger in simulated picoseconds
+            (default :data:`repro.obs.audit.DEFAULT_WINDOW_PS`).  Two
+            ledgers are only comparable at matching widths.
         """
         ctx = mp.get_context("fork")
         rings: List[ShmRing] = []
@@ -444,13 +504,15 @@ class ProcessRunner:
         names = [s.name for s in self.specs]
         want_telemetry = (progress or report_path is not None
                           or control_dir is not None
-                          or timeline_path is not None)
+                          or timeline_path is not None
+                          or audit_path is not None)
         aggregator = None
         monitor = None
         telemetry_q = None
         parent_tracer = None
         control = None
         collector = None
+        audit_collector = None
         if want_telemetry:
             from ..obs.telemetry import TelemetryAggregator, HealthMonitor
             aggregator = TelemetryAggregator(names)
@@ -460,6 +522,14 @@ class ProcessRunner:
         if timeline_path is not None:
             from ..obs.timeline import MpTimelineCollector
             collector = MpTimelineCollector(names, until_ps)
+        if audit_path is not None:
+            from ..obs.audit import DEFAULT_WINDOW_PS, MpAuditCollector
+            if audit_window_ps is None:
+                audit_window_ps = DEFAULT_WINDOW_PS
+            audit_collector = MpAuditCollector(names, until_ps,
+                                               audit_window_ps)
+        else:
+            audit_window_ps = None
         if trace_dir is not None:
             os.makedirs(trace_dir, exist_ok=True)
             from ..obs.trace import Tracer
@@ -495,7 +565,7 @@ class ProcessRunner:
                           timeout_s, telemetry_q, trace_dir, hb_interval_s,
                           index, digest, flow_sample,
                           cmd_queues.get(spec.name), reply_q,
-                          timeline_path is not None),
+                          timeline_path is not None, audit_window_ps),
                     name=f"splitsim-{spec.name}",
                 )
                 for index, spec in enumerate(self.specs)
@@ -531,7 +601,7 @@ class ProcessRunner:
                     timed_out = True
                     break
                 self._drain_telemetry(telemetry_q, aggregator, monitor,
-                                      progress, collector)
+                                      progress, collector, audit_collector)
                 try:
                     res: ProcResult = result_q.get(
                         timeout=hb_interval_s if want_telemetry else 0.5)
@@ -542,8 +612,10 @@ class ProcessRunner:
                     monitor.note_done(res.name, res.error)
                 if control is not None:
                     control.note_done(res.name, res.error)
+                if audit_collector is not None:
+                    audit_collector.note_result(res)
             self._drain_telemetry(telemetry_q, aggregator, monitor, progress,
-                                  collector)
+                                  collector, audit_collector)
             if progress:
                 sys.stderr.write("\n")
                 sys.stderr.flush()
@@ -559,20 +631,18 @@ class ProcessRunner:
                                    parent_tracer.wall_us() - launch_us)
                 trace_path = self._merge_traces(trace_dir, parent_tracer)
             timeline_rel = None
-            if collector is not None:
+            if collector is not None or audit_collector is not None:
                 # children are joined: their queue feeders have flushed, so
                 # one more drain picks up the forced final beats
                 self._drain_telemetry(telemetry_q, aggregator, monitor,
-                                      False, collector)
+                                      False, collector, audit_collector)
+            if collector is not None:
                 collector.save(timeline_path)
-                timeline_rel = timeline_path
-                if report_path is not None:
-                    try:
-                        timeline_rel = os.path.relpath(
-                            timeline_path,
-                            os.path.dirname(report_path) or ".")
-                    except ValueError:  # pragma: no cover - cross-drive
-                        pass
+                timeline_rel = self._report_rel(timeline_path, report_path)
+            audit_rel = None
+            if audit_collector is not None:
+                audit_collector.save(audit_path)
+                audit_rel = self._report_rel(audit_path, report_path)
             if report_path is not None:
                 from ..obs.telemetry import (build_run_report,
                                              write_run_report)
@@ -580,7 +650,7 @@ class ProcessRunner:
                     until_ps, wall_total, results, aggregator,
                     trace=trace_path,
                     health=monitor.report() if monitor else None,
-                    timeline=timeline_rel))
+                    timeline=timeline_rel, audit=audit_rel))
             if timed_out:
                 missing = sorted(set(names) - set(results))
                 raise TimeoutError(
@@ -602,8 +672,19 @@ class ProcessRunner:
                 finally:
                     ring.unlink()
 
+    @staticmethod
+    def _report_rel(path: str, report_path: Optional[str]) -> str:
+        """Path as referenced from the run report (relative when possible)."""
+        if report_path is None:
+            return path
+        try:
+            return os.path.relpath(path, os.path.dirname(report_path) or ".")
+        except ValueError:  # pragma: no cover - cross-drive
+            return path
+
     def _drain_telemetry(self, telemetry_q, aggregator, monitor,
-                         progress: bool, collector=None) -> None:
+                         progress: bool, collector=None,
+                         audit_collector=None) -> None:
         """Consume pending heartbeats; watchdog pass; refresh status line."""
         if telemetry_q is None:
             return
@@ -616,6 +697,8 @@ class ProcessRunner:
             aggregator.note(hb)
             if collector is not None:
                 collector.note(hb)
+            if audit_collector is not None:
+                audit_collector.note(hb)
             noted = True
         if monitor is not None:
             monitor.observe(aggregator)

@@ -135,6 +135,11 @@ class Simulation:
         #: :meth:`Experiment.enable_timeline`.  Strict mode only: the
         #: sampler reads counters at sync-round boundaries.
         self.timeline = None
+        #: per-epoch digest ledger recorder (``None`` = disabled); attach
+        #: via :meth:`Experiment.enable_audit`.  Works in both modes:
+        #: epochs are fixed simulated-time windows, flushed at sync-round
+        #: boundaries in strict mode and at run end in fast mode.
+        self.audit = None
         self._wired = False
 
     # -- assembly ----------------------------------------------------------
@@ -239,6 +244,9 @@ class Simulation:
 
     def _run_fast(self, until_ps: int) -> int:
         queue = self._shared_queue
+        audit = self.audit
+        if audit is not None:
+            audit.start(until_ps)
         for c in self.components:
             c._started = True
             c.start()
@@ -248,6 +256,8 @@ class Simulation:
         for c in self.components:
             if c.now < until_ps:
                 c.now = until_ps
+        if audit is not None:
+            audit.finish()
         return steps
 
     def _run_strict(self, until_ps: int) -> int:
@@ -262,6 +272,9 @@ class Simulation:
         timeline = self.timeline
         if timeline is not None:
             timeline.start(until_ps)
+        audit = self.audit
+        if audit is not None:
+            audit.start(until_ps)
         while True:
             progressed = False
             done = True
@@ -284,7 +297,11 @@ class Simulation:
             if timeline is not None and (done or not rounds
                                          % timeline.interval_rounds):
                 timeline.sample()
+            if audit is not None and not rounds % audit.interval_rounds:
+                audit.on_round()
             if done:
+                if audit is not None:
+                    audit.finish()
                 return rounds
             if not progressed:
                 detail = ", ".join(

@@ -92,6 +92,16 @@ def build_parser() -> argparse.ArgumentParser:
                              "DIR/timeline.jsonl with --control); inspect "
                              "with 'splitsim-inspect timeline', feed to "
                              "'splitsim-inspect recommend'")
+    parser.add_argument("--audit", metavar="PATH", nargs="?",
+                        const=True, default=None,
+                        help="record the per-epoch digest ledger; PATH "
+                             "defaults to audit.jsonl (or DIR/audit.jsonl "
+                             "with --control); compare two runs with "
+                             "'splitsim-inspect diff'")
+    parser.add_argument("--audit-window", metavar="TIME", default=None,
+                        help='audit epoch width, e.g. "64us" (default '
+                             "64us); ledgers compare only at matching "
+                             "widths")
     parser.add_argument("--partition-file", metavar="PATH", default=None,
                         help="apply a saved advisor recommendation "
                              "(partition.json from 'splitsim-inspect "
@@ -154,6 +164,16 @@ def _cli_main(argv: Optional[List[str]] = None) -> int:
         inst_kwargs["profile"] = True
     if args.timeline is not None and not args.control:
         inst_kwargs["timeline"] = True
+    if args.audit_window is not None:
+        try:
+            args.audit_window = parse_time(args.audit_window)
+        except ValueError as exc:
+            print(f"error: --audit-window: {exc}", file=sys.stderr)
+            return 1
+    if args.audit is not None and not args.control:
+        inst_kwargs["audit"] = True
+        if args.audit_window is not None:
+            inst_kwargs["audit_window_ps"] = args.audit_window
     if args.trace or args.profile_out:
         inst_kwargs.setdefault("trace", True)
     if args.flows is not None:
@@ -198,12 +218,18 @@ def _run_mp(args, exp, duration: int, duration_text: str) -> int:
     if args.timeline is not None:
         timeline_path = str(rundir / "timeline.jsonl") \
             if args.timeline is True else args.timeline
+    audit_path = None
+    if args.audit is not None:
+        audit_path = str(rundir / "audit.jsonl") \
+            if args.audit is True else args.audit
     results = exp.run_mp(duration, progress=args.progress,
                          report_path=str(report_path),
                          trace_dir=str(trace_dir),
                          control_dir=str(rundir),
                          flow_sample=args.flows,
-                         timeline_path=timeline_path)
+                         timeline_path=timeline_path,
+                         audit_path=audit_path,
+                         audit_window_ps=args.audit_window)
     for name in sorted(results):
         res = results[name]
         print(f"  {name}: {res.events} events, "
@@ -256,6 +282,11 @@ def _run(args, exp, duration: int, duration_text: str) -> int:
             else args.timeline
         exp.save_timeline(timeline_path)
         print(f"wrote {timeline_path}")
+
+    if args.audit is not None:
+        audit_path = "audit.jsonl" if args.audit is True else args.audit
+        exp.save_audit(audit_path)
+        print(f"wrote {audit_path}")
 
     if args.trace:
         exp.save_trace(args.trace)

@@ -8,11 +8,16 @@ event's timestamp) to the strict in-process coordinator.  And it must stay
 identical with the codec forced off (everything pickled), proving the
 codec and the batching are pure transport optimizations with zero effect
 on simulated behaviour.
+
+On a digest mismatch these tests don't just fail: they record per-epoch
+audit ledgers (:mod:`repro.obs.audit`) of both runs and report the first
+divergent (epoch, component) window.
 """
 
 import pytest
 
-from repro.bench.mp import inproc_strict_digests, mp_digests
+from repro.bench.mp import (inproc_audit_ledger, inproc_strict_digests,
+                            mp_audit_ledger, mp_digests)
 from repro.channels import wire
 from repro.channels.channel import set_transport_batching
 from repro.kernel.simtime import US
@@ -28,23 +33,44 @@ def _restore_toggles():
     set_transport_batching(True)
 
 
+def assert_mp_matches(expected, got, n_procs, tmpdir) -> None:
+    """Digest equality, localized via audit ledgers when it fails."""
+    if got == expected:
+        return
+    from repro.obs.audit import diff_ledgers
+    mismatched = sorted(n for n in set(expected) | set(got)
+                        if expected.get(n) != got.get(n))
+    lines = [f"mp timelines diverged from strict in-process "
+             f"(components: {', '.join(mismatched)})"]
+    try:
+        diff = diff_ledgers(inproc_audit_ledger(n_procs, DURATION),
+                            mp_audit_ledger(n_procs, DURATION,
+                                            tmpdir=tmpdir))
+        if diff.divergence is not None:
+            lines.append(diff.divergence.describe())
+        lines.append(f"({diff.rows_compared} earlier windows identical)")
+    except Exception as exc:  # localization is best-effort
+        lines.append(f"(audit localization unavailable: {exc})")
+    pytest.fail("\n".join(lines))
+
+
 @pytest.mark.parametrize("codec", [True, False],
                          ids=["codec_on", "codec_off"])
-def test_mp_matches_inproc_strict(codec):
+def test_mp_matches_inproc_strict(codec, tmp_path):
     wire.set_codec_enabled(codec)
     expected = inproc_strict_digests(N_PROCS, DURATION)
     got = mp_digests(N_PROCS, DURATION)
-    assert got == expected
+    assert_mp_matches(expected, got, N_PROCS, str(tmp_path))
     assert len(expected) == N_PROCS
     assert all(d for d in expected.values())
 
 
-def test_mp_matches_inproc_strict_unbatched():
+def test_mp_matches_inproc_strict_unbatched(tmp_path):
     # legacy per-message transport path (no send_batch/recv_batch use)
     set_transport_batching(False)
     expected = inproc_strict_digests(N_PROCS, DURATION)
     got = mp_digests(N_PROCS, DURATION)
-    assert got == expected
+    assert_mp_matches(expected, got, N_PROCS, str(tmp_path))
 
 
 def test_digest_depends_on_timeline():

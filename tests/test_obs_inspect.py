@@ -12,7 +12,7 @@ from repro.kernel.simtime import MS, US
 from repro.netsim.apps.kv import KVClientApp, KVServerApp
 from repro.obs.inspect_cli import (analysis_from_trace, edge_wait_histograms,
                                    main, stall_points, stall_timeline,
-                                   top_spans)
+                                   timeline_warnings, top_spans)
 from repro.obs.trace import validate_chrome_doc
 from repro.orchestration.instantiate import Instantiation
 from repro.orchestration.system import System
@@ -309,3 +309,93 @@ def test_recommend_subcommand_fails_gracefully(tmp_path, capsys):
     empty.mkdir()
     assert main(["recommend", str(empty)]) == 1
     assert "rerun with the timeline on" in capsys.readouterr().err
+
+
+# -- timeline data-quality warnings --------------------------------------------
+
+def test_timeline_dropped_rows_surface_as_warning(tmp_path, capsys):
+    from repro.bench.mp import RingForwarder
+    from repro.obs.timeline import TimelineRecorder, load_timeline
+    from repro.parallel.simulation import Simulation
+
+    sim = Simulation(mode="strict")
+    comps = [sim.add(RingForwarder(f"s{i}", i, 2)) for i in range(2)]
+    sim.connect(comps[0].next, comps[1].prev)
+    sim.connect(comps[1].next, comps[0].prev)
+    sim._wire()
+    rec = TimelineRecorder(comps, interval_rounds=1, max_rows=4)
+    sim.timeline = rec
+    sim._run_strict(100 * US)
+    assert rec.dropped > 0
+    path = tmp_path / "timeline.jsonl"
+    rec.save(str(path))
+
+    summary = tmp_path / "summary.json"
+    assert main(["timeline", str(path), "--json", str(summary)]) == 0
+    out = capsys.readouterr().out
+    assert "warning:" in out and "dropped" in out
+    doc = json.loads(summary.read_text())
+    assert doc["dropped"] == rec.dropped
+    assert len(doc["warnings"]) == 1
+    assert "oldest epochs are missing" in doc["warnings"][0]
+    assert timeline_warnings(load_timeline(str(path))) == doc["warnings"]
+
+
+def test_timeline_without_drops_has_no_warning(tmp_path, capsys):
+    _, path = timeline_run(tmp_path)
+    summary = tmp_path / "summary.json"
+    assert main(["timeline", str(path), "--json", str(summary)]) == 0
+    assert "warning:" not in capsys.readouterr().out
+    assert json.loads(summary.read_text())["warnings"] == []
+
+
+# -- cross-run audit diff ------------------------------------------------------
+
+def _saved_ledger(tmp_path, name, **kw):
+    from .test_audit import _pipeline_recorder
+    d = tmp_path / name
+    d.mkdir()
+    _pipeline_recorder(**kw).save(str(d / "audit.jsonl"))
+    return d
+
+
+def test_diff_subcommand_identical_runs(tmp_path, capsys):
+    a = _saved_ledger(tmp_path, "runA")
+    b = _saved_ledger(tmp_path, "runB")
+    assert main(["diff", str(a), str(b)]) == 0
+    out = capsys.readouterr().out
+    assert "status: identical" in out
+    assert "first divergence" not in out
+
+
+def test_diff_subcommand_localizes_divergence(tmp_path, capsys):
+    from .test_audit import PERTURB_COMP, PERTURB_EPOCH, PERTURB_TS
+
+    a = _saved_ledger(tmp_path, "runA")
+    b = _saved_ledger(tmp_path, "runB",
+                      perturb=(PERTURB_COMP, PERTURB_TS))
+    report = tmp_path / "diff.json"
+    assert main(["diff", str(a), str(b), "--json", str(report)]) == 1
+    out = capsys.readouterr().out
+    assert "status: diverged" in out
+    assert f"first divergence: epoch {PERTURB_EPOCH}" in out
+    assert "component s1" in out
+    doc = json.loads(report.read_text())
+    assert doc["status"] == "diverged"
+    first = doc["first_divergence"]
+    assert first["epoch"] == PERTURB_EPOCH
+    assert first["component"] == "s1"
+    assert first["b"]["n"] == first["a"]["n"] + 1  # the injected event
+
+
+def test_diff_subcommand_fails_gracefully(tmp_path, capsys):
+    a = _saved_ledger(tmp_path, "runA")
+    # run directory without a ledger: actionable hint, exit 2
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    assert main(["diff", str(a), str(empty)]) == 2
+    assert "rerun with auditing on" in capsys.readouterr().err
+    # mismatched epoch widths: not comparable, exit 2
+    c = _saved_ledger(tmp_path, "runC", window_ps=10 * US)
+    assert main(["diff", str(a), str(c)]) == 2
+    assert "window_ps differs" in capsys.readouterr().out

@@ -216,9 +216,28 @@ def test_monitor_default_stale_threshold_scales_with_interval():
     assert HealthMonitor(["a"], hb_interval_s=1.0).stale_after_s == 8.0
 
 
-# -- run report v2 ------------------------------------------------------------
+# -- run report schema --------------------------------------------------------
 
-def test_run_report_v2_roundtrip(tmp_path):
+def test_schema_registry_is_single_source():
+    # every versioned document constant re-exports the central registry
+    from repro.obs.schema import (ALL_SCHEMAS, AUDIT_SCHEMA,
+                                  RUN_REPORT_SCHEMA as CENTRAL)
+    from repro.obs import (CONTROL_SCHEMA, METRICS_SCHEMA, TIMELINE_SCHEMA,
+                           TRACE_SCHEMA)
+    from repro.obs.audit import AUDIT_SCHEMA as AUDIT_REEXPORT
+    from repro.parallel.advisor import PARTITION_SCHEMA
+
+    assert RUN_REPORT_SCHEMA is CENTRAL
+    assert AUDIT_REEXPORT is AUDIT_SCHEMA
+    assert ALL_SCHEMAS == {
+        "run_report": RUN_REPORT_SCHEMA, "timeline": TIMELINE_SCHEMA,
+        "audit": AUDIT_SCHEMA, "trace": TRACE_SCHEMA,
+        "metrics": METRICS_SCHEMA, "control": CONTROL_SCHEMA,
+        "partition": PARTITION_SCHEMA,
+    }
+
+
+def test_run_report_v4_roundtrip(tmp_path):
     results = {
         "good": ProcResult(name="good", events=42, wall_seconds=1.5,
                            wait_seconds=0.5, work_cycles=9.0,
@@ -232,8 +251,9 @@ def test_run_report_v2_roundtrip(tmp_path):
     mon.note_done("bad", error="RuntimeError: boom")
     report = build_run_report(10 * US, 2.0, results, agg, trace="t.json",
                               health=mon.report())
-    assert report["schema"] == RUN_REPORT_SCHEMA == 3
+    assert report["schema"] == RUN_REPORT_SCHEMA == 4
     assert report["timeline"] is None  # v3 field; v2 fields unchanged
+    assert report["audit"] is None     # v4 field; prior fields unchanged
     assert report["components"]["good"]["events"] == 42
     assert report["components"]["good"]["outputs"] == {"log": [1, 2]}
     assert report["components"]["good"]["error"] is None
@@ -246,14 +266,15 @@ def test_run_report_v2_roundtrip(tmp_path):
     write_run_report(str(path), report)
     loaded = json.loads(path.read_text())
     assert loaded == json.loads(json.dumps(report, default=str))
-    assert loaded["schema"] == 3
+    assert loaded["schema"] == 4
     assert loaded["health"]["degraded"] is True
 
 
 def test_run_report_health_defaults_to_null():
     report = build_run_report(1 * US, 0.1, {})
-    assert report["schema"] == 3
+    assert report["schema"] == 4
     assert report["health"] is None
+    assert report["audit"] is None
     assert report["heartbeats"] == []
 
 

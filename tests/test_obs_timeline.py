@@ -240,6 +240,39 @@ def test_run_mp_report_references_timeline(tmp_path):
         assert total == res.events
 
 
+@pytest.mark.slow
+def test_mp_child_crash_flushes_partial_timeline(tmp_path):
+    # a child that dies before its forced final beat must not take the
+    # whole timeline with it: rows piggybacked on earlier heartbeats are
+    # kept, the run report is still written (health: failed), and the
+    # inspect CLI renders the partial document
+    from repro.obs.telemetry import HEALTH_FAILED
+
+    from .test_audit import make_crashing
+
+    specs, channels = pipeline_specs(2)
+    specs[1].factory = make_crashing
+    tl_path = tmp_path / "timeline.jsonl"
+    report_path = tmp_path / "run_report.json"
+    with pytest.raises((RuntimeError, TimeoutError)):
+        ProcessRunner(specs, channels).run(
+            UNTIL_PS, timeout_s=3.0, hb_interval_s=0.0,
+            timeline_path=str(tl_path), report_path=str(report_path))
+
+    report = json.loads(report_path.read_text())
+    states = report["health"]["components"]
+    assert HEALTH_FAILED in states.values()
+    assert report["health"]["degraded"]
+    assert report["timeline"] == "timeline.jsonl"
+
+    tl = load_timeline(str(tl_path))
+    assert tl.rows  # partial rows survived the crash
+    assert {r.comp for r in tl.rows} <= {"s0", "s1"}
+
+    from repro.obs.inspect_cli import main as inspect_main
+    assert inspect_main(["timeline", str(tmp_path)]) == 0
+
+
 # -- experiment integration ---------------------------------------------------
 
 def test_instantiation_timeline_forces_strict_and_records():
